@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 4 (power-guided single-pixel attacks)."""
+
+from repro.experiments.figure4 import format_figure4, run_figure4
+
+
+def test_figure4(single_round, benchmark):
+    """Figure 4: test accuracy vs attack strength for the five strategies."""
+    result = single_round(run_figure4, "bench")
+    print()
+    print(format_figure4(result))
+
+    for (dataset, activation), curves in result.curves.items():
+        for label, curve in curves.items():
+            benchmark.extra_info[f"{dataset}/{activation}/{label}/final"] = round(
+                float(curve[-1]), 3
+            )
+
+    # Paper-shape checks on the MNIST panels at the strongest attack:
+    # the white-box worst case is the lowest accuracy, power-guided attacks
+    # beat the random-pixel baseline.
+    for activation in ("linear", "softmax"):
+        curves = result.curves[("mnist-like", activation)]
+        final = {label: curve[-1] for label, curve in curves.items()}
+        assert final["Worst"] <= min(final["+"], final["-"], final["RD"]) + 1e-9
+        assert final["+"] < final["RP"]
+        assert final["RD"] < final["RP"]

@@ -1,0 +1,19 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables/figures (or an ablation)
+at the ``bench`` scale and prints the same rows/series the paper reports.  The
+pipelines are deterministic and long-running relative to micro-benchmarks, so
+every benchmark uses a single round.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def single_round(benchmark):
+    """Run the benchmarked callable exactly once and return its result."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable even without installation.
+
+The package is normally installed with ``pip install -e . --no-build-isolation``;
+this fallback keeps ``pytest`` working in environments where that step was
+skipped (e.g. read-only or fully offline checkouts).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

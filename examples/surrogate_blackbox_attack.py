@@ -1,0 +1,70 @@
+"""Surrogate-based black-box attack with the power loss (the paper's Figure 5 scenario).
+
+The attacker queries the victim with a limited number of inputs, recording the
+observable outputs and the crossbar's power consumption, then trains a linear
+surrogate with the paper's combined loss  L = L_out + lambda * L_power  (Eq. 9)
+and transfers FGSM adversarial examples crafted on the surrogate back to the
+victim.  The script compares lambda = 0 (no power information) against a
+power-augmented surrogate across several query budgets.
+
+Run with:  python examples/surrogate_blackbox_attack.py
+"""
+
+from repro.attacks import Oracle, SurrogateAttack, SurrogateConfig
+from repro.datasets import load_mnist_like
+from repro.experiments.reporting import format_table
+from repro.nn.trainer import train_single_layer
+
+QUERY_COUNTS = (50, 200, 500, 1000)
+POWER_LOSS_WEIGHTS = (0.0, 0.01)
+OUTPUT_MODE = "label"  # the attacker only sees the predicted class
+
+
+def main() -> None:
+    dataset = load_mnist_like(n_train=3000, n_test=500, random_state=0)
+    victim, trainer = train_single_layer(dataset, output="linear", epochs=30, random_state=0)
+    _, clean_accuracy = trainer.evaluate(dataset.test_inputs, dataset.test_targets)
+    print(f"victim clean test accuracy: {clean_accuracy:.3f}")
+    print(f"attacker observes: {OUTPUT_MODE} outputs + total crossbar current\n")
+
+    rows = []
+    for n_queries in QUERY_COUNTS:
+        row = [n_queries]
+        for lam in POWER_LOSS_WEIGHTS:
+            oracle = Oracle(victim, output_mode=OUTPUT_MODE, expose_power=lam > 0, random_state=0)
+            attack = SurrogateAttack(
+                oracle,
+                config=SurrogateConfig(power_loss_weight=lam, epochs=300),
+                attack_strength=0.1,
+                random_state=1,
+            )
+            result = attack.run(
+                dataset.query_pool(n_queries, random_state=2),
+                dataset.test_inputs,
+                dataset.test_targets,
+            )
+            row.extend(
+                [result.surrogate_test_accuracy, result.oracle_adversarial_accuracy]
+            )
+        rows.append(row)
+
+    headers = ["queries"]
+    for lam in POWER_LOSS_WEIGHTS:
+        headers += [f"surr acc (λ={lam:g})", f"oracle adv acc (λ={lam:g})"]
+    print(
+        format_table(
+            headers,
+            rows,
+            title="Surrogate fidelity and attack transfer vs query budget "
+            "(lower adversarial accuracy = stronger attack)",
+        )
+    )
+    print(
+        "\nWith only label feedback, adding the power-consistency loss "
+        "improves the surrogate at moderate-to-large query budgets and makes "
+        "the transferred FGSM attack more damaging — the paper's MNIST finding."
+    )
+
+
+if __name__ == "__main__":
+    main()

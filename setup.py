@@ -1,0 +1,14 @@
+"""Setuptools entry point.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in fully offline environments where pip's build
+isolation (which downloads setuptools/wheel) is unavailable::
+
+    pip install -e . --no-build-isolation
+    # or, equivalently
+    python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

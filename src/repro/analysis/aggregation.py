@@ -1,0 +1,74 @@
+"""Aggregating metrics over independent experiment runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.results import SweepResult
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean / standard deviation / count for one metric across runs."""
+
+    mean: float
+    std: float
+    count: int
+    values: tuple
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "Aggregate":
+        """Build from raw per-run values."""
+        array = np.asarray(list(values), dtype=float)
+        if array.size == 0:
+            raise ValueError("cannot aggregate an empty collection of values")
+        return cls(
+            mean=float(array.mean()),
+            std=float(array.std()),
+            count=int(array.size),
+            values=tuple(array.tolist()),
+        )
+
+    def format(self, precision: int = 3) -> str:
+        """``mean ± std`` string for report tables."""
+        return f"{self.mean:.{precision}f} ± {self.std:.{precision}f}"
+
+
+def mean_and_std(values: Iterable[float]) -> tuple[float, float]:
+    """(mean, std) of a collection of per-run values."""
+    aggregate = Aggregate.from_values(values)
+    return aggregate.mean, aggregate.std
+
+
+def aggregate_runs(
+    runs: Sequence[Mapping[str, float]] | SweepResult,
+    metric_keys: Sequence[str] | None = None,
+) -> Dict[str, Aggregate]:
+    """Aggregate metrics across runs.
+
+    Parameters
+    ----------
+    runs:
+        Either a sequence of per-run metric dictionaries or a
+        :class:`~repro.utils.results.SweepResult`.
+    metric_keys:
+        Which metrics to aggregate; defaults to every key present in the
+        first run.
+    """
+    if isinstance(runs, SweepResult):
+        dictionaries = [run.metrics for run in runs]
+    else:
+        dictionaries = list(runs)
+    if not dictionaries:
+        raise ValueError("no runs to aggregate")
+    if metric_keys is None:
+        metric_keys = list(dictionaries[0].keys())
+    aggregates: Dict[str, Aggregate] = {}
+    for key in metric_keys:
+        values = [run[key] for run in dictionaries if key in run]
+        if values:
+            aggregates[key] = Aggregate.from_values(values)
+    return aggregates

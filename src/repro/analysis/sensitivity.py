@@ -1,0 +1,127 @@
+"""Sensitivity and 1-norm maps — the data behind Figure 3.
+
+Figure 3 shows, for each dataset / activation configuration, two images: the
+mean sensitivity ``mean_b |∂L/∂u_j|`` reshaped to the image plane, and the
+column 1-norms of the weight matrix reshaped the same way.  For the CIFAR-10
+configuration the paper plots only the first colour channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.gradients import mean_sensitivity, weight_column_norms
+from repro.nn.losses import Loss
+from repro.nn.network import Sequential
+
+
+@dataclass(frozen=True)
+class SensitivityMaps:
+    """The pair of maps shown in one row-pair of Figure 3.
+
+    Attributes
+    ----------
+    sensitivity:
+        Mean sensitivity per input feature, reshaped to ``map_shape``.
+    column_norms:
+        Weight-column 1-norms, reshaped to ``map_shape``.
+    map_shape:
+        The 2-D shape the maps were reshaped to (e.g. ``(28, 28)``).
+    channel:
+        Which colour channel the maps correspond to (``None`` for grayscale).
+    """
+
+    sensitivity: np.ndarray
+    column_norms: np.ndarray
+    map_shape: Tuple[int, int]
+    channel: Optional[int] = None
+
+    def flattened(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return both maps as flat vectors (for correlation computations)."""
+        return self.sensitivity.ravel(), self.column_norms.ravel()
+
+
+def _select_channel(
+    values: np.ndarray, image_shape: Tuple[int, ...], channel: Optional[int]
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Reduce a flat per-feature vector to one 2-D map.
+
+    Grayscale image shapes ``(H, W)`` pass through; colour shapes
+    ``(H, W, C)`` are sliced at ``channel`` (default 0, matching the paper's
+    "first color channel" choice for CIFAR-10).
+    """
+    if len(image_shape) == 2:
+        return values.reshape(image_shape), (image_shape[0], image_shape[1])
+    if len(image_shape) == 3:
+        height, width, n_channels = image_shape
+        chan = 0 if channel is None else int(channel)
+        if not 0 <= chan < n_channels:
+            raise ValueError(f"channel {chan} out of range for {n_channels} channels")
+        reshaped = values.reshape(image_shape)[:, :, chan]
+        return reshaped, (height, width)
+    raise ValueError(f"unsupported image shape {image_shape}")
+
+
+def sensitivity_norm_maps(
+    network: Sequential,
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    image_shape: Tuple[int, ...],
+    *,
+    loss: Optional[Loss] = None,
+    channel: Optional[int] = None,
+    column_norms: Optional[np.ndarray] = None,
+) -> SensitivityMaps:
+    """Compute the Figure 3 map pair for one configuration.
+
+    Parameters
+    ----------
+    network:
+        Trained single-layer network.
+    inputs / targets:
+        The set over which the sensitivity is averaged (the paper uses the
+        test set).
+    image_shape:
+        Original image shape used to fold the flat feature vectors back into
+        2-D maps.
+    channel:
+        For colour images, which channel to display (default 0).
+    column_norms:
+        Optional externally measured 1-norms (e.g. from power probing).
+    """
+    sensitivity = mean_sensitivity(network, inputs, targets, loss=loss)
+    if column_norms is None:
+        column_norms = weight_column_norms(network.layers[0].weights)
+    else:
+        column_norms = np.asarray(column_norms, dtype=float)
+    sens_map, map_shape = _select_channel(sensitivity, tuple(image_shape), channel)
+    norm_map, _ = _select_channel(column_norms, tuple(image_shape), channel)
+    return SensitivityMaps(
+        sensitivity=sens_map,
+        column_norms=norm_map,
+        map_shape=map_shape,
+        channel=channel if len(image_shape) == 3 else None,
+    )
+
+
+def spatial_smoothness(map_2d: np.ndarray) -> float:
+    """Mean absolute difference between neighbouring map entries.
+
+    Used to quantify the paper's qualitative observation that the MNIST
+    1-norm map changes gradually over the image plane while the CIFAR-10 map
+    changes rapidly.  Lower values mean smoother maps.  The value is
+    normalised by the map's dynamic range so datasets with different scales
+    are comparable.
+    """
+    map_2d = np.asarray(map_2d, dtype=float)
+    if map_2d.ndim != 2:
+        raise ValueError(f"expected a 2-D map, got shape {map_2d.shape}")
+    value_range = map_2d.max() - map_2d.min()
+    if value_range == 0:
+        return 0.0
+    horizontal = np.abs(np.diff(map_2d, axis=1)).mean()
+    vertical = np.abs(np.diff(map_2d, axis=0)).mean()
+    return float((horizontal + vertical) / (2.0 * value_range))

@@ -1,0 +1,97 @@
+"""Attack base classes and result containers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.transforms import clip_to_range
+
+
+@dataclass
+class AttackResult:
+    """Adversarial examples plus bookkeeping.
+
+    Attributes
+    ----------
+    adversarial_inputs:
+        The perturbed inputs, same shape as the originals.
+    original_inputs:
+        The unmodified inputs.
+    perturbations:
+        ``adversarial_inputs - original_inputs``.
+    strength:
+        The attack strength (ε) used.
+    queries_used:
+        Power/oracle queries spent crafting the examples (0 for white-box).
+    """
+
+    adversarial_inputs: np.ndarray
+    original_inputs: np.ndarray
+    strength: float
+    queries_used: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.adversarial_inputs = np.atleast_2d(np.asarray(self.adversarial_inputs, dtype=float))
+        self.original_inputs = np.atleast_2d(np.asarray(self.original_inputs, dtype=float))
+        if self.adversarial_inputs.shape != self.original_inputs.shape:
+            raise ValueError(
+                "adversarial and original inputs must have the same shape, got "
+                f"{self.adversarial_inputs.shape} and {self.original_inputs.shape}"
+            )
+
+    @property
+    def perturbations(self) -> np.ndarray:
+        """The applied perturbations ``r = u' - u``."""
+        return self.adversarial_inputs - self.original_inputs
+
+    def perturbation_norms(self, order: float = 2) -> np.ndarray:
+        """Per-sample ℓp norms of the perturbations."""
+        return np.linalg.norm(self.perturbations, ord=order, axis=1)
+
+    @property
+    def n_samples(self) -> int:
+        """Number of attacked samples."""
+        return len(self.adversarial_inputs)
+
+
+class Attack(ABC):
+    """Base class for evasion attacks.
+
+    Parameters
+    ----------
+    clip_range:
+        Optional ``(low, high)`` box constraint applied to adversarial
+        examples.  The paper's single-pixel experiments do not clip (attack
+        strengths up to 10 on [0, 1] pixels), so clipping defaults to off and
+        is opt-in per attack.
+    """
+
+    def __init__(self, clip_range: Optional[Tuple[float, float]] = None):
+        if clip_range is not None:
+            low, high = float(clip_range[0]), float(clip_range[1])
+            if high <= low:
+                raise ValueError(f"clip_range upper bound {high} must exceed {low}")
+            clip_range = (low, high)
+        self.clip_range = clip_range
+
+    def _finalize(self, adversarial: np.ndarray) -> np.ndarray:
+        """Apply the box constraint (if any)."""
+        if self.clip_range is None:
+            return adversarial
+        return clip_to_range(adversarial, *self.clip_range)
+
+    @abstractmethod
+    def attack(
+        self, inputs: np.ndarray, targets: np.ndarray, strength: float
+    ) -> AttackResult:
+        """Craft adversarial examples for a batch of (inputs, targets)."""
+
+    def __call__(
+        self, inputs: np.ndarray, targets: np.ndarray, strength: float
+    ) -> AttackResult:
+        return self.attack(inputs, targets, strength)

@@ -1,0 +1,179 @@
+"""The attacker's interface to the victim model ("oracle").
+
+The paper's black-box experiments assume the attacker can query the victim
+accelerator with inputs of their choice and observe some combination of:
+
+* only the predicted label (Figure 5, rows 1 and 3),
+* the raw output vector (Figure 5, rows 2 and 4),
+* the power side channel (total crossbar current) for each query.
+
+:class:`Oracle` wraps either a software network or a
+:class:`~repro.crossbar.accelerator.CrossbarAccelerator` and exposes exactly
+those observation channels, while counting queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.crossbar.accelerator import CrossbarAccelerator
+from repro.datasets.transforms import one_hot
+from repro.nn.network import Sequential
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import check_non_negative
+
+
+@dataclass
+class OracleResponse:
+    """What the oracle returned for a batch of queries.
+
+    Attributes
+    ----------
+    queries:
+        The query inputs ``(Q, N)``.
+    outputs:
+        The observable outputs ``(Q, M)``: raw output vectors in ``raw`` mode,
+        one-hot encoded argmax labels in ``label`` mode.
+    labels:
+        Predicted integer labels ``(Q,)`` (always available).
+    power:
+        Total-current measurements ``(Q,)`` or ``None`` when the attacker
+        cannot observe power.
+    output_mode:
+        ``"raw"`` or ``"label"``.
+    """
+
+    queries: np.ndarray
+    outputs: np.ndarray
+    labels: np.ndarray
+    power: Optional[np.ndarray]
+    output_mode: str
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_queries(self) -> int:
+        """Number of queried inputs."""
+        return len(self.queries)
+
+
+class Oracle:
+    """Query interface to the victim crossbar accelerator.
+
+    Parameters
+    ----------
+    target:
+        A :class:`~repro.crossbar.accelerator.CrossbarAccelerator` (preferred —
+        power comes from the simulated hardware) or a plain
+        :class:`~repro.nn.network.Sequential` network (power is then computed
+        analytically from the weight-column 1-norms, i.e. the ideal-crossbar
+        value).
+    output_mode:
+        ``"raw"`` to reveal output vectors, ``"label"`` to reveal only the
+        argmax label.
+    expose_power:
+        Whether queries also return the power measurement.
+    power_noise_std:
+        Relative measurement noise added to the power observations.
+    random_state:
+        Seed for the measurement noise.
+    """
+
+    VALID_MODES = ("raw", "label")
+
+    def __init__(
+        self,
+        target: Union[CrossbarAccelerator, Sequential],
+        *,
+        output_mode: str = "raw",
+        expose_power: bool = True,
+        power_noise_std: float = 0.0,
+        random_state: RandomState = None,
+    ):
+        output_mode = str(output_mode).lower()
+        if output_mode not in self.VALID_MODES:
+            raise ValueError(
+                f"output_mode must be one of {self.VALID_MODES}, got {output_mode!r}"
+            )
+        self.target = target
+        self.output_mode = output_mode
+        self.expose_power = bool(expose_power)
+        self.power_noise_std = check_non_negative(power_noise_std, "power_noise_std")
+        self._rng = as_rng(random_state)
+        self._queries_used = 0
+
+        if isinstance(target, CrossbarAccelerator):
+            self._n_outputs = target.n_outputs
+        else:
+            self._n_outputs = target.n_outputs
+
+    # ----------------------------------------------------------- accounting
+
+    @property
+    def queries_used(self) -> int:
+        """Number of inputs queried so far."""
+        return self._queries_used
+
+    def reset_counter(self) -> None:
+        """Reset the query counter."""
+        self._queries_used = 0
+
+    @property
+    def n_outputs(self) -> int:
+        """Output dimensionality of the victim."""
+        return self._n_outputs
+
+    # -------------------------------------------------------------- queries
+
+    def _forward(self, inputs: np.ndarray) -> np.ndarray:
+        if isinstance(self.target, CrossbarAccelerator):
+            return np.atleast_2d(self.target.forward(inputs))
+        return np.atleast_2d(self.target.predict(inputs))
+
+    def _power(self, inputs: np.ndarray) -> np.ndarray:
+        if isinstance(self.target, CrossbarAccelerator):
+            power = np.atleast_1d(self.target.total_current(inputs))
+        else:
+            # Ideal-crossbar analytic value: i_total = Σ_j u_j Σ_i |w_ij|
+            column_norms = np.abs(self.target.layers[0].weights).sum(axis=0)
+            power = np.atleast_2d(inputs) @ column_norms
+        if self.power_noise_std > 0:
+            scale = np.mean(np.abs(power)) if np.any(power) else 1.0
+            power = power + self._rng.normal(
+                0.0, self.power_noise_std * scale, size=power.shape
+            )
+        return power
+
+    def query(self, inputs: np.ndarray) -> OracleResponse:
+        """Query the oracle with a batch of inputs."""
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        self._queries_used += len(inputs)
+
+        raw_outputs = self._forward(inputs)
+        labels = np.argmax(raw_outputs, axis=1)
+        if self.output_mode == "raw":
+            outputs = raw_outputs
+        else:
+            outputs = one_hot(labels, self._n_outputs)
+
+        power = self._power(inputs) if self.expose_power else None
+        return OracleResponse(
+            queries=inputs,
+            outputs=outputs,
+            labels=labels,
+            power=power,
+            output_mode=self.output_mode,
+            metadata={"expose_power": self.expose_power},
+        )
+
+    def predict_labels(self, inputs: np.ndarray) -> np.ndarray:
+        """Victim labels for evaluation purposes (not counted as attack queries)."""
+        return np.argmax(self._forward(inputs), axis=1)
+
+    def accuracy(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """Victim accuracy on a labelled set (evaluation helper)."""
+        labels = self.predict_labels(inputs)
+        true_labels = np.argmax(np.atleast_2d(targets), axis=1)
+        return float(np.mean(labels == true_labels))

@@ -1,0 +1,90 @@
+"""Input DAC and output ADC models.
+
+The crossbar is an analogue block; in a real accelerator the digital inputs
+pass through a DAC to become line voltages and the output currents pass
+through an ADC before the digital activation function.  Both converters are
+simple uniform quantizers over a configurable range.  Infinite resolution
+(``n_bits=None``) reproduces the paper's ideal analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+
+class _UniformQuantizer:
+    """Shared implementation of a clipping uniform quantizer."""
+
+    def __init__(self, n_bits: Optional[int], value_range: Tuple[float, float]):
+        if n_bits is not None:
+            check_positive_int(n_bits, "n_bits")
+        low, high = float(value_range[0]), float(value_range[1])
+        if high <= low:
+            raise ValueError(f"range upper bound {high} must exceed lower bound {low}")
+        self.n_bits = n_bits
+        self.low = low
+        self.high = high
+
+    @property
+    def n_levels(self) -> Optional[int]:
+        """Number of representable levels, or None when unquantized."""
+        if self.n_bits is None:
+            return None
+        return 2**self.n_bits
+
+    def convert(self, values: np.ndarray) -> np.ndarray:
+        """Clip to range and (if quantized) snap to the nearest level."""
+        values = np.asarray(values, dtype=float)
+        clipped = np.clip(values, self.low, self.high)
+        if self.n_bits is None:
+            return clipped
+        span = self.high - self.low
+        steps = self.n_levels - 1
+        indices = np.rint((clipped - self.low) / span * steps)
+        return self.low + indices * span / steps
+
+
+class DAC(_UniformQuantizer):
+    """Digital-to-analogue converter for crossbar input voltages.
+
+    Parameters
+    ----------
+    n_bits:
+        Resolution in bits; ``None`` for an ideal (continuous) DAC.
+    voltage_range:
+        The output voltage range (defaults to the normalised ``[0, 1]`` used
+        throughout the paper).
+    """
+
+    def __init__(self, n_bits: Optional[int] = None, voltage_range: Tuple[float, float] = (0.0, 1.0)):
+        super().__init__(n_bits, voltage_range)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DAC(n_bits={self.n_bits}, range=({self.low}, {self.high}))"
+
+
+class ADC(_UniformQuantizer):
+    """Analogue-to-digital converter for crossbar output currents.
+
+    Parameters
+    ----------
+    n_bits:
+        Resolution in bits; ``None`` for an ideal (continuous) ADC.
+    current_range:
+        Full-scale input current range.  The tile computes a sensible default
+        from the programmed conductances when none is given.
+    """
+
+    def __init__(
+        self,
+        n_bits: Optional[int] = None,
+        current_range: Tuple[float, float] = (-1.0, 1.0),
+    ):
+        super().__init__(n_bits, current_range)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ADC(n_bits={self.n_bits}, range=({self.low}, {self.high}))"

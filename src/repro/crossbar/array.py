@@ -1,0 +1,206 @@
+"""The crossbar array: differential MVM and total-current measurement.
+
+Implements the ideal behaviour of Eq. 3-5 of the paper plus the opt-in
+non-idealities configured through
+:class:`~repro.crossbar.nonidealities.NonidealityConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.crossbar.devices import IDEAL_DEVICE, NVMDeviceModel
+from repro.crossbar.mapping import ConductanceMapping, MappingScheme
+from repro.crossbar.nonidealities import NonidealityConfig
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import check_matrix
+
+
+class CrossbarArray:
+    """A programmed NVM crossbar holding one weight matrix.
+
+    The array is created by programming a weight matrix through a
+    :class:`~repro.crossbar.mapping.ConductanceMapping`; afterwards it exposes
+    the two analogue operations the paper uses:
+
+    * :meth:`matvec` — the differential matrix-vector product
+      ``i_s = (G+ - G-) v_u`` (Eq. 3).
+    * :meth:`total_current` — the summed current through all devices
+      ``i_total = Σ_j v_j Σ_i (G+_ij + G-_ij)`` (Eq. 5), i.e. the power side
+      channel.
+
+    Parameters
+    ----------
+    weights:
+        The weight matrix ``(M, N)`` to program.
+    mapping:
+        Conductance mapping (device model + scheme).  Defaults to the ideal
+        min-power mapping assumed in the paper.
+    nonidealities:
+        Optional non-ideal effects.
+    random_state:
+        Seed for programming noise, stuck devices and read noise.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        *,
+        mapping: Optional[ConductanceMapping] = None,
+        nonidealities: Optional[NonidealityConfig] = None,
+        random_state: RandomState = None,
+    ):
+        weights = check_matrix(weights, "weights")
+        self.mapping = mapping if mapping is not None else ConductanceMapping()
+        self.nonidealities = (
+            nonidealities if nonidealities is not None else NonidealityConfig()
+        )
+        self._rng = as_rng(random_state)
+        self._reference_weights = weights.copy()
+
+        self.g_plus, self.g_minus = self.mapping.map(weights, random_state=self._rng)
+        self._apply_static_nonidealities()
+
+    # ----------------------------------------------------------- properties
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, columns) = (outputs, inputs)."""
+        return self.g_plus.shape
+
+    @property
+    def n_rows(self) -> int:
+        """Number of output rows M."""
+        return self.g_plus.shape[0]
+
+    @property
+    def n_columns(self) -> int:
+        """Number of input columns N."""
+        return self.g_plus.shape[1]
+
+    @property
+    def device(self) -> NVMDeviceModel:
+        """The underlying device model."""
+        return self.mapping.device
+
+    @property
+    def effective_weights(self) -> np.ndarray:
+        """The weights actually implemented after programming non-idealities."""
+        return self.mapping.unmap(self.g_plus, self.g_minus, self._reference_weights)
+
+    @property
+    def column_conductance_sums(self) -> np.ndarray:
+        """``G_j`` for every column — the quantity leaked by the power channel."""
+        return self.mapping.column_conductance_sums(self.g_plus, self.g_minus)
+
+    # -------------------------------------------------- static non-idealities
+
+    def _apply_static_nonidealities(self) -> None:
+        config = self.nonidealities
+        if config.stuck_at_off_fraction > 0 or config.stuck_at_on_fraction > 0:
+            total = self.g_plus.size + self.g_minus.size
+            n_off = int(round(config.stuck_at_off_fraction * total))
+            n_on = int(round(config.stuck_at_on_fraction * total))
+            flat_indices = self._rng.permutation(total)
+            off_idx = flat_indices[:n_off]
+            on_idx = flat_indices[n_off : n_off + n_on]
+            stacked = np.concatenate([self.g_plus.ravel(), self.g_minus.ravel()])
+            stacked[off_idx] = self.device.g_min
+            stacked[on_idx] = self.device.g_max
+            split = self.g_plus.size
+            self.g_plus = stacked[:split].reshape(self.g_plus.shape)
+            self.g_minus = stacked[split:].reshape(self.g_minus.shape)
+        if config.temperature_drift:
+            factor = 1.0 + config.temperature_drift
+            self.g_plus = np.clip(self.g_plus * factor, 0.0, self.device.g_max)
+            self.g_minus = np.clip(self.g_minus * factor, 0.0, self.device.g_max)
+
+    # ------------------------------------------------------------- dynamics
+
+    def _read_conductances(self) -> tuple[np.ndarray, np.ndarray]:
+        """Conductances as seen by one read operation (read noise applied)."""
+        g_plus = self.device.apply_read_noise(self.g_plus, self._rng)
+        g_minus = self.device.apply_read_noise(self.g_minus, self._rng)
+        return g_plus, g_minus
+
+    def _ir_drop_attenuation(self, g_plus: np.ndarray, g_minus: np.ndarray) -> np.ndarray:
+        """First-order IR-drop attenuation per column.
+
+        Columns further from the driver (higher index) see more wire
+        resistance; the attenuation factor is
+        ``1 / (1 + R_wire * G_col_total * position)``.
+        """
+        resistance = self.nonidealities.wire_resistance
+        if resistance == 0:
+            return np.ones(self.n_columns)
+        column_g = (g_plus + g_minus).sum(axis=0)
+        positions = np.arange(1, self.n_columns + 1)
+        return 1.0 / (1.0 + resistance * column_g * positions)
+
+    def matvec(self, voltages: np.ndarray) -> np.ndarray:
+        """Differential crossbar output currents for a batch of input voltages.
+
+        Parameters
+        ----------
+        voltages:
+            ``(N,)`` or ``(B, N)`` input voltage vector(s).
+
+        Returns
+        -------
+        np.ndarray
+            Output currents ``(M,)`` or ``(B, M)``.
+        """
+        voltages = np.asarray(voltages, dtype=float)
+        single = voltages.ndim == 1
+        batch = np.atleast_2d(voltages)
+        if batch.shape[1] != self.n_columns:
+            raise ValueError(
+                f"expected {self.n_columns} input voltages, got {batch.shape[1]}"
+            )
+        g_plus, g_minus = self._read_conductances()
+        attenuation = self._ir_drop_attenuation(g_plus, g_minus)
+        effective = (g_plus - g_minus) * attenuation[np.newaxis, :]
+        currents = batch @ effective.T
+        return currents[0] if single else currents
+
+    def total_current(self, voltages: np.ndarray) -> np.ndarray:
+        """Total steady-state current drawn for each input vector (Eq. 5).
+
+        This is the paper's "power information": ``i_total = Σ_j v_j G_j``
+        with ``G_j`` the per-column conductance sum, plus optional measurement
+        noise.
+        """
+        voltages = np.asarray(voltages, dtype=float)
+        single = voltages.ndim == 1
+        batch = np.atleast_2d(voltages)
+        if batch.shape[1] != self.n_columns:
+            raise ValueError(
+                f"expected {self.n_columns} input voltages, got {batch.shape[1]}"
+            )
+        g_plus, g_minus = self._read_conductances()
+        attenuation = self._ir_drop_attenuation(g_plus, g_minus)
+        column_sums = ((g_plus + g_minus) * attenuation[np.newaxis, :]).sum(axis=0)
+        currents = batch @ column_sums
+        noise = self.nonidealities.current_measurement_noise
+        if noise > 0:
+            currents = currents * (
+                1.0 + self._rng.normal(0.0, noise, size=currents.shape)
+            )
+        return float(currents[0]) if single else currents
+
+    def static_power(self, voltages: np.ndarray, *, supply_voltage: float = 1.0) -> np.ndarray:
+        """Dissipated power ``Σ_j v_j^2 G_j`` (or ``Vdd * i_total`` when driven at Vdd)."""
+        voltages = np.asarray(voltages, dtype=float)
+        single = voltages.ndim == 1
+        batch = np.atleast_2d(voltages)
+        column_sums = self.column_conductance_sums
+        power = (batch**2) @ column_sums * float(supply_voltage)
+        return float(power[0]) if single else power
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CrossbarArray(shape={self.shape}, device={self.device.name!r}, "
+            f"scheme={self.mapping.scheme.value!r}, ideal={self.nonidealities.is_ideal})"
+        )

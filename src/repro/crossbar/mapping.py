@@ -1,0 +1,145 @@
+"""Weight-matrix to conductance-pair mapping.
+
+Each weight ``w_ij`` is represented by a differential pair of conductances
+``G+_ij`` and ``G-_ij`` with ``w_ij ∝ G+_ij - G-_ij`` (Figure 2 of the paper).
+Two schemes are implemented:
+
+``MIN_POWER`` (the paper's assumption)
+    For positive weights ``G- ≈ g_min`` and for negative weights
+    ``G+ ≈ g_min``.  This minimises static power and creates the side channel
+    the paper exploits: the column conductance sum becomes an affine function
+    of the column 1-norm, ``G_j = 2 N_rows g_min + scale * Σ_i |w_ij|``.
+
+``BALANCED``
+    The pair is split symmetrically around the mid-conductance so that
+    ``G+ + G-`` is the same for every device regardless of the weight.  The
+    column sums then carry no information about the weights — this scheme is
+    the natural hardware counter-measure and is used by the mapping ablation
+    benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.crossbar.devices import IDEAL_DEVICE, NVMDeviceModel
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import check_matrix, check_positive
+
+
+class MappingScheme(str, Enum):
+    """Available weight-to-conductance-pair mapping schemes."""
+
+    MIN_POWER = "min_power"
+    BALANCED = "balanced"
+
+
+@dataclass
+class ConductanceMapping:
+    """Maps a weight matrix onto differential conductance pairs.
+
+    Parameters
+    ----------
+    device:
+        The NVM device model providing the conductance range and write noise.
+    scheme:
+        :class:`MappingScheme` (default ``MIN_POWER``, as assumed by the paper).
+    weight_scale:
+        The weight magnitude that maps to full-scale conductance
+        (``g_max - g_min``).  ``None`` (default) uses the maximum absolute
+        weight of the matrix being programmed, which maximises the usable
+        conductance range.
+    """
+
+    device: NVMDeviceModel = IDEAL_DEVICE
+    scheme: MappingScheme = MappingScheme.MIN_POWER
+    weight_scale: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self.scheme = MappingScheme(self.scheme)
+        if self.weight_scale is not None:
+            check_positive(self.weight_scale, "weight_scale")
+
+    # ------------------------------------------------------------------ api
+
+    def resolve_weight_scale(self, weights: np.ndarray) -> float:
+        """The weight magnitude corresponding to full-scale conductance."""
+        if self.weight_scale is not None:
+            return float(self.weight_scale)
+        max_abs = float(np.abs(weights).max())
+        # An all-zero (or subnormal) matrix would make the conductance scale
+        # overflow; fall back to a unit scale, which maps every weight to a
+        # (near-)zero conductance as expected.
+        if max_abs == 0.0 or not np.isfinite(self.device.conductance_range / max_abs):
+            return 1.0
+        return max_abs
+
+    def conductance_per_unit_weight(self, weights: np.ndarray) -> float:
+        """Conductance added per unit of |weight| under this mapping."""
+        return self.device.conductance_range / self.resolve_weight_scale(weights)
+
+    def map(
+        self,
+        weights: np.ndarray,
+        *,
+        random_state: RandomState = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Program a weight matrix; returns ``(G_plus, G_minus)``.
+
+        Both returned arrays have the weight matrix's shape ``(M, N)``.
+        Programming noise and conductance quantization from the device model
+        are applied here (they model the write operation).
+        """
+        weights = check_matrix(weights, "weights")
+        rng = as_rng(random_state)
+        scale = self.conductance_per_unit_weight(weights)
+        g_min, g_max = self.device.g_min, self.device.g_max
+
+        if self.scheme is MappingScheme.MIN_POWER:
+            g_plus = g_min + scale * np.clip(weights, 0.0, None)
+            g_minus = g_min + scale * np.clip(-weights, 0.0, None)
+        else:  # BALANCED
+            g_mid = 0.5 * (g_min + g_max)
+            half = 0.5 * scale * weights
+            g_plus = g_mid + half
+            g_minus = g_mid - half
+
+        g_plus = self.device.quantize(g_plus)
+        g_minus = self.device.quantize(g_minus)
+        g_plus = self.device.apply_programming_noise(g_plus, rng)
+        g_minus = self.device.apply_programming_noise(g_minus, rng)
+        return g_plus, g_minus
+
+    def unmap(self, g_plus: np.ndarray, g_minus: np.ndarray, weights_reference: np.ndarray) -> np.ndarray:
+        """Recover the effective weights implemented by a conductance pair.
+
+        ``weights_reference`` is only used to resolve the weight scale (the
+        same matrix that was passed to :meth:`map`).
+        """
+        scale = self.conductance_per_unit_weight(np.asarray(weights_reference, dtype=float))
+        return (np.asarray(g_plus, dtype=float) - np.asarray(g_minus, dtype=float)) / scale
+
+    def column_conductance_sums(
+        self, g_plus: np.ndarray, g_minus: np.ndarray
+    ) -> np.ndarray:
+        """``G_j = Σ_i (G+_ij + G-_ij)`` — the quantity power probing reveals."""
+        return (np.asarray(g_plus) + np.asarray(g_minus)).sum(axis=0)
+
+    def expected_column_sums(self, weights: np.ndarray) -> np.ndarray:
+        """Analytic column sums for an ideal (noise-free) programming pass.
+
+        Under ``MIN_POWER`` this is ``2 M g_min + scale * Σ_i |w_ij|``; under
+        ``BALANCED`` it is the constant ``M (g_min + g_max)``.
+        """
+        weights = check_matrix(weights, "weights")
+        n_rows = weights.shape[0]
+        if self.scheme is MappingScheme.MIN_POWER:
+            scale = self.conductance_per_unit_weight(weights)
+            return 2 * n_rows * self.device.g_min + scale * np.abs(weights).sum(axis=0)
+        return np.full(
+            weights.shape[1], n_rows * (self.device.g_min + self.device.g_max)
+        )

@@ -1,0 +1,71 @@
+"""Configuration of crossbar non-idealities.
+
+The paper's analysis is for an *ideal* crossbar; this module collects the
+non-ideal effects named as future work (and common in the crossbar
+literature) so they can be switched on individually to study their impact on
+the power side channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_non_negative, check_probability
+
+
+@dataclass(frozen=True)
+class NonidealityConfig:
+    """Which non-ideal effects a :class:`~repro.crossbar.array.CrossbarArray` applies.
+
+    Attributes
+    ----------
+    stuck_at_off_fraction:
+        Fraction of devices stuck at ``g_min`` (cannot be programmed).
+    stuck_at_on_fraction:
+        Fraction of devices stuck at ``g_max``.
+    wire_resistance:
+        Per-cell line resistance in ohms used by the IR-drop approximation.
+        ``0`` disables IR drop.  The approximation attenuates each column's
+        contribution by ``1 / (1 + R_wire * G_col * distance)`` which captures
+        the first-order effect of current flowing through shared wires.
+    current_measurement_noise:
+        Standard deviation of additive noise on the *total current*
+        measurement (the power side channel), relative to the measured value.
+    temperature_drift:
+        Relative conductance drift applied uniformly to all devices
+        (e.g. 0.02 = +2%); models a temperature offset between programming
+        and inference.
+    """
+
+    stuck_at_off_fraction: float = 0.0
+    stuck_at_on_fraction: float = 0.0
+    wire_resistance: float = 0.0
+    current_measurement_noise: float = 0.0
+    temperature_drift: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_probability(self.stuck_at_off_fraction, "stuck_at_off_fraction")
+        check_probability(self.stuck_at_on_fraction, "stuck_at_on_fraction")
+        if self.stuck_at_off_fraction + self.stuck_at_on_fraction > 1.0:
+            raise ValueError("stuck-at fractions must sum to at most 1")
+        check_non_negative(self.wire_resistance, "wire_resistance")
+        check_non_negative(self.current_measurement_noise, "current_measurement_noise")
+        if self.temperature_drift < -1.0:
+            raise ValueError(
+                f"temperature_drift must be >= -1, got {self.temperature_drift}"
+            )
+
+    @property
+    def is_ideal(self) -> bool:
+        """True when every non-ideal effect is disabled."""
+        return (
+            self.stuck_at_off_fraction == 0.0
+            and self.stuck_at_on_fraction == 0.0
+            and self.wire_resistance == 0.0
+            and self.current_measurement_noise == 0.0
+            and self.temperature_drift == 0.0
+        )
+
+
+#: Shared default: the ideal configuration assumed throughout the paper.
+IDEAL_NONIDEALITIES = NonidealityConfig()

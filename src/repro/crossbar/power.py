@@ -1,0 +1,134 @@
+"""Power model and measurement reports for the crossbar accelerator.
+
+The "power information" in the paper is the total steady-state current drawn
+by the array for a given input (Eq. 5).  :class:`PowerModel` converts that
+current into the quantities an attacker could realistically record —
+instantaneous power at the supply voltage and energy per inference — and
+bundles them into :class:`PowerReport` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Power-channel observations for a batch of inputs.
+
+    Attributes
+    ----------
+    total_current:
+        ``(B,)`` total crossbar current per input (the paper's side channel).
+    power:
+        ``(B,)`` dissipated power ``Vdd * i_total``.
+    energy:
+        ``(B,)`` energy per inference, ``power * integration_time``.
+    per_tile_current:
+        ``(B, n_tiles)`` currents for multi-tile accelerators (one column per
+        crossbar tile); single-layer networks have one tile.
+    """
+
+    total_current: np.ndarray
+    power: np.ndarray
+    energy: np.ndarray
+    per_tile_current: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("total_current", "power", "energy"):
+            value = getattr(self, name)
+            if np.asarray(value).ndim != 1:
+                raise ValueError(f"{name} must be 1-D, got shape {np.shape(value)}")
+        if np.asarray(self.per_tile_current).ndim != 2:
+            raise ValueError(
+                f"per_tile_current must be 2-D, got shape {np.shape(self.per_tile_current)}"
+            )
+
+    @property
+    def n_samples(self) -> int:
+        """Number of measured inputs."""
+        return len(self.total_current)
+
+    @property
+    def n_tiles(self) -> int:
+        """Number of crossbar tiles contributing to the measurement."""
+        return self.per_tile_current.shape[1]
+
+    def mean_power(self) -> float:
+        """Average dissipated power over the batch."""
+        return float(np.mean(self.power))
+
+    def total_energy(self) -> float:
+        """Total energy over the batch."""
+        return float(np.sum(self.energy))
+
+
+class PowerModel:
+    """Converts total currents into power/energy figures.
+
+    Parameters
+    ----------
+    supply_voltage:
+        The read voltage Vdd applied to active lines (normalised to 1 V by
+        default, matching the paper's normalised formulation).
+    integration_time:
+        The time the read voltage is applied per inference, in seconds, used
+        to report energy.
+    """
+
+    def __init__(self, supply_voltage: float = 1.0, integration_time: float = 100e-9):
+        self.supply_voltage = check_positive(supply_voltage, "supply_voltage")
+        self.integration_time = check_positive(integration_time, "integration_time")
+
+    def report(
+        self,
+        total_currents: np.ndarray,
+        per_tile_currents: Optional[Sequence[np.ndarray]] = None,
+    ) -> PowerReport:
+        """Build a :class:`PowerReport` from raw current measurements.
+
+        Parameters
+        ----------
+        total_currents:
+            ``(B,)`` summed currents across all tiles.
+        per_tile_currents:
+            Optional sequence of ``(B,)`` arrays, one per tile.  Defaults to a
+            single tile carrying the whole current.
+        """
+        total_currents = np.atleast_1d(np.asarray(total_currents, dtype=float))
+        if per_tile_currents is None:
+            per_tile = total_currents[:, np.newaxis]
+        else:
+            per_tile = np.stack(
+                [np.atleast_1d(np.asarray(c, dtype=float)) for c in per_tile_currents],
+                axis=1,
+            )
+            if per_tile.shape[0] != total_currents.shape[0]:
+                raise ValueError(
+                    "per-tile currents disagree with total currents on sample count"
+                )
+        power = self.supply_voltage * total_currents
+        energy = power * self.integration_time
+        return PowerReport(
+            total_current=total_currents,
+            power=power,
+            energy=energy,
+            per_tile_current=per_tile,
+        )
+
+    def combine(self, reports: List[PowerReport]) -> PowerReport:
+        """Sum several single-tile reports into one accelerator-level report."""
+        if not reports:
+            raise ValueError("cannot combine an empty list of reports")
+        total = np.sum([r.total_current for r in reports], axis=0)
+        per_tile = np.concatenate([r.per_tile_current for r in reports], axis=1)
+        power = self.supply_voltage * total
+        energy = power * self.integration_time
+        return PowerReport(
+            total_current=total, power=power, energy=energy, per_tile_current=per_tile
+        )

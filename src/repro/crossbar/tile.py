@@ -1,0 +1,142 @@
+"""A crossbar tile: one neural-network layer mapped onto an array + peripherals.
+
+The tile owns a :class:`~repro.crossbar.array.CrossbarArray` programmed with
+the layer's weights, an input DAC, an output ADC, and applies the layer's
+activation function digitally after conversion, exactly mirroring Figure 2 of
+the paper (``v_y = f(i_s) = f(G v_u)``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.crossbar.adc_dac import ADC, DAC
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.mapping import ConductanceMapping
+from repro.crossbar.nonidealities import NonidealityConfig
+from repro.nn.activations import Activation, get_activation
+from repro.nn.layers import Dense
+from repro.utils.rng import RandomState
+
+
+class CrossbarTile:
+    """One dense layer implemented on a crossbar.
+
+    Parameters
+    ----------
+    layer:
+        The trained :class:`~repro.nn.layers.Dense` layer to map.  Layers with
+        a bias are mapped by adding one extra input column driven at a
+        constant voltage of 1.
+    mapping:
+        Conductance mapping; defaults to the ideal min-power mapping.
+    nonidealities:
+        Optional non-ideal effects.
+    dac / adc:
+        Converter models; ``None`` means ideal converters.
+    random_state:
+        Seed for stochastic hardware effects.
+    """
+
+    def __init__(
+        self,
+        layer: Dense,
+        *,
+        mapping: Optional[ConductanceMapping] = None,
+        nonidealities: Optional[NonidealityConfig] = None,
+        dac: Optional[DAC] = None,
+        adc: Optional[ADC] = None,
+        random_state: RandomState = None,
+    ):
+        self.layer = layer
+        self.activation: Activation = get_activation(layer.activation)
+        self._has_bias_column = bool(layer.use_bias)
+
+        weights = layer.weights
+        if self._has_bias_column:
+            weights = np.concatenate([weights, layer.bias[:, np.newaxis]], axis=1)
+
+        self.array = CrossbarArray(
+            weights,
+            mapping=mapping,
+            nonidealities=nonidealities,
+            random_state=random_state,
+        )
+        self.dac = dac if dac is not None else DAC()
+        self.adc = adc
+
+        # Scale factor converting output currents back to the digital domain.
+        self._current_to_logical = 1.0 / self.array.mapping.conductance_per_unit_weight(
+            weights
+        )
+
+    # ----------------------------------------------------------- properties
+
+    @property
+    def n_inputs(self) -> int:
+        """Logical input dimensionality (excluding the bias column)."""
+        return self.layer.n_inputs
+
+    @property
+    def n_outputs(self) -> int:
+        """Output dimensionality."""
+        return self.layer.n_outputs
+
+    @property
+    def column_conductance_sums(self) -> np.ndarray:
+        """Per-logical-input column conductance sums (bias column excluded)."""
+        sums = self.array.column_conductance_sums
+        if self._has_bias_column:
+            return sums[:-1]
+        return sums
+
+    # -------------------------------------------------------------- compute
+
+    def _line_voltages(self, inputs: np.ndarray) -> np.ndarray:
+        """Convert digital inputs to crossbar line voltages (DAC + bias column)."""
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        if inputs.shape[1] != self.n_inputs:
+            raise ValueError(
+                f"expected inputs with {self.n_inputs} features, got {inputs.shape[1]}"
+            )
+        voltages = self.dac.convert(inputs)
+        if self._has_bias_column:
+            ones = np.ones((voltages.shape[0], 1))
+            voltages = np.concatenate([voltages, ones], axis=1)
+        return voltages
+
+    def pre_activation(self, inputs: np.ndarray) -> np.ndarray:
+        """Analogue MVM result converted back to the logical weight domain."""
+        single = np.asarray(inputs).ndim == 1
+        voltages = self._line_voltages(inputs)
+        currents = self.array.matvec(voltages)
+        if self.adc is not None:
+            currents = self.adc.convert(currents)
+        logical = currents * self._current_to_logical
+        return logical[0] if single else logical
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Layer output ``f(W u)`` computed through the crossbar."""
+        single = np.asarray(inputs).ndim == 1
+        pre = np.atleast_2d(self.pre_activation(inputs))
+        out = self.activation.forward(pre)
+        return out[0] if single else out
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.forward(inputs)
+
+    def total_current(self, inputs: np.ndarray) -> np.ndarray:
+        """The tile's power side channel for each input (Eq. 5)."""
+        single = np.asarray(inputs).ndim == 1
+        voltages = self._line_voltages(inputs)
+        currents = self.array.total_current(voltages)
+        currents = np.atleast_1d(currents)
+        return float(currents[0]) if single else currents
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CrossbarTile(n_inputs={self.n_inputs}, n_outputs={self.n_outputs}, "
+            f"activation={self.activation.name!r})"
+        )

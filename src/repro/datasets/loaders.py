@@ -1,0 +1,52 @@
+"""Dataset registry and generic loader."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.datasets.base import Dataset
+from repro.datasets.synthetic_digits import load_mnist_like
+from repro.datasets.synthetic_objects import load_cifar_like
+from repro.utils.rng import RandomState
+
+_LOADERS: Dict[str, Callable[..., Dataset]] = {
+    "mnist-like": load_mnist_like,
+    "mnist": load_mnist_like,
+    "cifar-like": load_cifar_like,
+    "cifar10": load_cifar_like,
+    "cifar-10": load_cifar_like,
+}
+
+
+def available_datasets() -> List[str]:
+    """Names accepted by :func:`load_dataset`."""
+    return sorted(set(_LOADERS))
+
+
+def load_dataset(
+    name: str,
+    n_train: int = 2000,
+    n_test: int = 500,
+    *,
+    random_state: RandomState = 0,
+    **kwargs,
+) -> Dataset:
+    """Load a dataset by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_datasets` (case insensitive).  The ``mnist``
+        and ``cifar10`` aliases map to the synthetic stand-ins documented in
+        DESIGN.md.
+    n_train / n_test:
+        Split sizes.
+    random_state:
+        Seed controlling both the class prototypes and the samples.
+    kwargs:
+        Forwarded to the underlying loader (e.g. ``image_size``).
+    """
+    key = str(name).lower()
+    if key not in _LOADERS:
+        raise KeyError(f"unknown dataset {name!r}; available: {available_datasets()}")
+    return _LOADERS[key](n_train, n_test, random_state=random_state, **kwargs)

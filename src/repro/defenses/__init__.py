@@ -1,0 +1,36 @@
+"""Countermeasures against the power side channel.
+
+The paper demonstrates the attack; this package implements the natural
+defences implied by its analysis so their cost/benefit can be studied:
+
+* :class:`~repro.defenses.norm_balancing.ColumnNormRegularizer` — train the
+  victim so its weight-column 1-norms are (near-)uniform, removing the signal
+  the side channel carries at the cost of some accuracy.
+* :class:`~repro.defenses.noise_injection.PowerNoiseDefense` — add randomised
+  dummy current draw at inference time so power measurements no longer reflect
+  the true column sums.
+* The balanced conductance mapping
+  (:class:`repro.crossbar.mapping.MappingScheme.BALANCED`) is the hardware-level
+  defence and lives in the crossbar package.
+* :mod:`repro.defenses.evaluation` — leakage and attack-advantage metrics used
+  to quantify how well a defence works.
+"""
+
+from repro.defenses.norm_balancing import ColumnNormRegularizer, rebalance_column_norms
+from repro.defenses.noise_injection import PowerNoiseDefense
+from repro.defenses.evaluation import (
+    leakage_correlation,
+    single_pixel_attack_advantage,
+    DefenseReport,
+    evaluate_defense,
+)
+
+__all__ = [
+    "ColumnNormRegularizer",
+    "rebalance_column_norms",
+    "PowerNoiseDefense",
+    "leakage_correlation",
+    "single_pixel_attack_advantage",
+    "DefenseReport",
+    "evaluate_defense",
+]

@@ -1,0 +1,106 @@
+"""Inference-time defence: randomised dummy power draw.
+
+A defender who cannot change the conductance mapping can still blunt the side
+channel by drawing additional, input-dependent-but-random current during each
+inference — e.g. activating a dummy crossbar column with a random conductance,
+or randomising the order/duty-cycle of the read pulses.  This module models
+that class of countermeasure as a wrapper around any object exposing
+``total_current`` (a tile or a whole accelerator): the functional outputs are
+untouched, only the power observable is distorted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import check_non_negative
+
+
+class PowerNoiseDefense:
+    """Wraps a crossbar target and randomises its observable power draw.
+
+    Parameters
+    ----------
+    target:
+        A :class:`~repro.crossbar.tile.CrossbarTile` or
+        :class:`~repro.crossbar.accelerator.CrossbarAccelerator`.
+    dummy_current_scale:
+        Mean of the random dummy current added per inference, expressed as a
+        fraction of the target's typical total current (estimated lazily from
+        the first measurements).  ``0.5`` adds on average 50% extra draw.
+    jitter:
+        Multiplicative jitter applied to the *real* current (models random
+        read duty-cycling); ``0.1`` = ±10% uniform.
+    random_state:
+        Seed for the defence's randomness.
+    """
+
+    def __init__(
+        self,
+        target,
+        *,
+        dummy_current_scale: float = 0.5,
+        jitter: float = 0.1,
+        random_state: RandomState = None,
+    ):
+        self.target = target
+        self.dummy_current_scale = check_non_negative(
+            dummy_current_scale, "dummy_current_scale"
+        )
+        self.jitter = check_non_negative(jitter, "jitter")
+        self._rng = as_rng(random_state)
+        self._reference_current: Optional[float] = None
+
+    # ------------------------------------------------------- passthrough API
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Functional outputs are unaffected by the defence."""
+        return self.target.forward(inputs)
+
+    def predict_labels(self, inputs: np.ndarray) -> np.ndarray:
+        """Labels are unaffected by the defence."""
+        return self.target.predict_labels(inputs)
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.forward(inputs)
+
+    # --------------------------------------------------------- power channel
+
+    def _update_reference(self, currents: np.ndarray) -> float:
+        observed = float(np.mean(np.abs(currents))) if np.size(currents) else 0.0
+        if self._reference_current is None:
+            self._reference_current = observed if observed > 0 else 1.0
+        return self._reference_current
+
+    def total_current(self, inputs: np.ndarray) -> np.ndarray:
+        """The defended power observable: jittered real current + dummy draw."""
+        inputs = np.asarray(inputs, dtype=float)
+        single = inputs.ndim == 1
+        real = np.atleast_1d(np.asarray(self.target.total_current(inputs), dtype=float))
+        reference = self._update_reference(real)
+
+        defended = real.copy()
+        if self.jitter > 0:
+            defended = defended * (
+                1.0 + self._rng.uniform(-self.jitter, self.jitter, size=defended.shape)
+            )
+        if self.dummy_current_scale > 0:
+            dummy = self._rng.exponential(
+                self.dummy_current_scale * reference, size=defended.shape
+            )
+            defended = defended + dummy
+        return float(defended[0]) if single else defended
+
+    @property
+    def overhead_factor(self) -> float:
+        """Expected relative increase in average power caused by the defence."""
+        return 1.0 + self.dummy_current_scale
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PowerNoiseDefense(dummy_current_scale={self.dummy_current_scale}, "
+            f"jitter={self.jitter})"
+        )

@@ -1,0 +1,47 @@
+"""Experiment pipelines regenerating every table and figure of the paper.
+
+Each module is runnable as a script (``python -m repro.experiments.table1``)
+and exposes a ``run_*`` function returning structured results plus a
+``format_*`` function that prints the same rows/series the paper reports.
+Benchmarks in ``benchmarks/`` call the same functions with scaled-down
+parameters.
+"""
+
+from repro.experiments.config import (
+    DatasetConfig,
+    TrainingConfig,
+    ExperimentScale,
+    SCALES,
+    resolve_scale,
+)
+from repro.experiments.runner import prepare_model, prepare_dataset, TrainedModel
+from repro.experiments.table1 import run_table1, format_table1, Table1Result
+from repro.experiments.figure3 import run_figure3, format_figure3, Figure3Result
+from repro.experiments.figure4 import run_figure4, format_figure4, Figure4Result
+from repro.experiments.figure5 import run_figure5, format_figure5, Figure5Result
+from repro.experiments.reporting import format_table, format_series
+
+__all__ = [
+    "DatasetConfig",
+    "TrainingConfig",
+    "ExperimentScale",
+    "SCALES",
+    "resolve_scale",
+    "prepare_model",
+    "prepare_dataset",
+    "TrainedModel",
+    "run_table1",
+    "format_table1",
+    "Table1Result",
+    "run_figure3",
+    "format_figure3",
+    "Figure3Result",
+    "run_figure4",
+    "format_figure4",
+    "Figure4Result",
+    "run_figure5",
+    "format_figure5",
+    "Figure5Result",
+    "format_table",
+    "format_series",
+]

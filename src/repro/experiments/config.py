@@ -1,0 +1,143 @@
+"""Experiment configuration objects and size presets.
+
+The paper's experiments run on the full MNIST / CIFAR-10 datasets with up to
+60 000 queries and 10 repetitions; that is hours of CPU time for the
+benchmark harness, so each experiment accepts an :class:`ExperimentScale`
+preset:
+
+* ``"smoke"`` — seconds; used by the test suite.
+* ``"bench"`` — tens of seconds per experiment; the default for the
+  pytest-benchmark harness and the values recorded in EXPERIMENTS.md.
+* ``"paper"`` — the paper's sizes (long-running).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """How to build one dataset for an experiment."""
+
+    name: str = "mnist-like"
+    n_train: int = 2000
+    n_test: int = 500
+    random_state: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_train, "n_train")
+        check_positive_int(self.n_test, "n_test")
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """How to train the victim single-layer network."""
+
+    output: str = "softmax"
+    epochs: int = 30
+    learning_rate: float = 0.005
+    batch_size: int = 64
+    optimizer: str = "adam"
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.epochs, "epochs")
+        check_positive_int(self.batch_size, "batch_size")
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size preset shared by all experiment pipelines.
+
+    Attributes
+    ----------
+    name:
+        Preset identifier.
+    n_train / n_test:
+        Dataset split sizes.
+    n_runs:
+        Independent repetitions (seeds) for statistics.
+    train_epochs:
+        Victim training epochs.
+    query_counts:
+        Query budgets swept in the Figure 5 experiment.
+    attack_strengths:
+        Attack strengths swept in the Figure 4 experiment.
+    power_loss_weights:
+        λ values swept in the Figure 5 experiment.
+    surrogate_epochs:
+        Training epochs for each surrogate model.
+    """
+
+    name: str
+    n_train: int
+    n_test: int
+    n_runs: int
+    train_epochs: int
+    query_counts: Tuple[int, ...]
+    attack_strengths: Tuple[float, ...]
+    power_loss_weights: Tuple[float, ...]
+    surrogate_epochs: int
+
+    def with_overrides(self, **kwargs) -> "ExperimentScale":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+SCALES: Dict[str, ExperimentScale] = {
+    "smoke": ExperimentScale(
+        name="smoke",
+        n_train=400,
+        n_test=100,
+        n_runs=2,
+        train_epochs=10,
+        query_counts=(10, 50),
+        attack_strengths=(0.0, 5.0, 10.0),
+        power_loss_weights=(0.0, 0.01),
+        surrogate_epochs=60,
+    ),
+    "bench": ExperimentScale(
+        name="bench",
+        n_train=2000,
+        n_test=400,
+        n_runs=3,
+        train_epochs=25,
+        query_counts=(10, 50, 100, 500, 1000),
+        attack_strengths=(0.0, 2.0, 4.0, 6.0, 8.0, 10.0),
+        power_loss_weights=(0.0, 0.002, 0.006, 0.01),
+        surrogate_epochs=300,
+    ),
+    "paper": ExperimentScale(
+        name="paper",
+        n_train=60000,
+        n_test=10000,
+        n_runs=10,
+        train_epochs=50,
+        query_counts=(2, 10, 50, 100, 500, 1000, 60000),
+        attack_strengths=tuple(float(s) for s in range(0, 11)),
+        power_loss_weights=(0.0, 0.002, 0.004, 0.006, 0.008, 0.01),
+        surrogate_epochs=500,
+    ),
+}
+
+
+def resolve_scale(scale) -> ExperimentScale:
+    """Accept a preset name or an :class:`ExperimentScale` instance."""
+    if isinstance(scale, ExperimentScale):
+        return scale
+    key = str(scale).lower()
+    if key not in SCALES:
+        raise KeyError(f"unknown scale {scale!r}; available: {sorted(SCALES)}")
+    return SCALES[key]
+
+
+#: The four dataset / activation configurations evaluated throughout the paper.
+PAPER_CONFIGURATIONS: Tuple[Tuple[str, str], ...] = (
+    ("mnist-like", "linear"),
+    ("mnist-like", "softmax"),
+    ("cifar-like", "linear"),
+    ("cifar-like", "softmax"),
+)

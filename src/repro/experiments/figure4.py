@@ -1,0 +1,156 @@
+"""Figure 4 — power-guided single-pixel attacks.
+
+For each of the four configurations the paper plots test accuracy against
+attack strength (0-10) for five single-pixel strategies: RP (random pixel,
+random sign), "+" (largest-1-norm pixel, add), "−" (largest-1-norm pixel,
+subtract), RD (largest-1-norm pixel, random sign) and Worst (white-box
+single-pixel FGSM).  The 1-norm information is obtained by probing the power
+side channel of the simulated crossbar.
+
+The expected qualitative ordering (reproduced and asserted by the tests) is
+``Worst ≤ power-guided ≤ RP`` in accuracy — i.e. the power information makes
+the attack substantially more effective than random, without reaching the
+white-box bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.attacks.evaluation import accuracy_under_attack
+from repro.attacks.single_pixel import SinglePixelAttack, SinglePixelStrategy
+from repro.crossbar.accelerator import CrossbarAccelerator
+from repro.experiments.config import PAPER_CONFIGURATIONS, ExperimentScale, resolve_scale
+from repro.experiments.reporting import format_series
+from repro.experiments.runner import prepare_dataset, prepare_model, run_multi_seed
+from repro.sidechannel.measurement import PowerMeasurement
+from repro.sidechannel.probing import ColumnNormProber
+from repro.utils.results import RunResult, SweepResult
+
+#: Figure 4 panel labels keyed by (dataset, activation).
+PANEL_LABELS: Dict[Tuple[str, str], str] = {
+    ("mnist-like", "linear"): "a",
+    ("mnist-like", "softmax"): "b",
+    ("cifar-like", "linear"): "c",
+    ("cifar-like", "softmax"): "d",
+}
+
+STRATEGIES: Tuple[SinglePixelStrategy, ...] = (
+    SinglePixelStrategy.RANDOM_PIXEL,
+    SinglePixelStrategy.POWER_ADD,
+    SinglePixelStrategy.POWER_SUBTRACT,
+    SinglePixelStrategy.POWER_RANDOM,
+    SinglePixelStrategy.WORST_CASE,
+)
+
+
+@dataclass
+class Figure4Result:
+    """Accuracy-vs-strength curves for every configuration and strategy."""
+
+    scale_name: str
+    attack_strengths: Tuple[float, ...]
+    #: curves[(dataset, activation)][strategy.paper_label] -> accuracy list
+    curves: Dict[Tuple[str, str], Dict[str, List[float]]] = field(default_factory=dict)
+    sweeps: Dict[Tuple[str, str], SweepResult] = field(default_factory=dict)
+
+    def curve(self, dataset: str, activation: str, strategy_label: str) -> List[float]:
+        """One accuracy-vs-strength curve."""
+        return self.curves[(dataset, activation)][strategy_label]
+
+
+def _single_run(
+    dataset_name: str,
+    activation: str,
+    scale: ExperimentScale,
+    seed: int,
+) -> RunResult:
+    """Train a victim, probe its power channel, and run all five strategies."""
+    dataset = prepare_dataset(dataset_name, scale, random_state=seed)
+    model = prepare_model(dataset, activation, scale, random_state=seed)
+
+    accelerator = CrossbarAccelerator(model.network, random_state=seed)
+    prober = ColumnNormProber(PowerMeasurement(accelerator), dataset.n_features)
+    probe = prober.probe_all()
+    leaked_norms = probe.column_sums
+
+    result = RunResult(
+        name=f"figure4/{dataset_name}/{activation}",
+        metadata={"dataset": dataset_name, "activation": activation},
+    )
+    result.add_metric("clean_test_accuracy", model.test_accuracy)
+    result.add_metric("probe_queries", probe.queries_used)
+
+    for strategy in STRATEGIES:
+        attack = SinglePixelAttack(
+            strategy,
+            column_norms=leaked_norms,
+            network=model.network,
+            queries_used=probe.queries_used if strategy.needs_power_information else 0,
+            random_state=seed,
+        )
+        accuracies = [
+            accuracy_under_attack(
+                model.network,
+                attack,
+                dataset.test_inputs,
+                dataset.test_targets,
+                strength,
+            )
+            for strength in scale.attack_strengths
+        ]
+        result.add_array(strategy.paper_label, accuracies)
+    return result
+
+
+def run_figure4(scale="bench", *, base_seed: int = 0) -> Figure4Result:
+    """Reproduce the Figure 4 accuracy-vs-strength curves."""
+    scale = resolve_scale(scale)
+    output = Figure4Result(scale_name=scale.name, attack_strengths=tuple(scale.attack_strengths))
+    for dataset_name, activation in PAPER_CONFIGURATIONS:
+        sweep = run_multi_seed(
+            f"figure4/{dataset_name}/{activation}",
+            lambda run_index, seed: _single_run(dataset_name, activation, scale, seed),
+            n_runs=scale.n_runs,
+            base_seed=base_seed,
+        )
+        curves: Dict[str, List[float]] = {}
+        for strategy in STRATEGIES:
+            label = strategy.paper_label
+            stacked = np.stack([run.arrays[label] for run in sweep])
+            curves[label] = stacked.mean(axis=0).tolist()
+        output.curves[(dataset_name, activation)] = curves
+        output.sweeps[(dataset_name, activation)] = sweep
+    return output
+
+
+def format_figure4(result: Figure4Result) -> str:
+    """Render one text panel per configuration (accuracy vs attack strength)."""
+    sections = []
+    for (dataset, activation), curves in result.curves.items():
+        panel = PANEL_LABELS[(dataset, activation)]
+        sections.append(
+            format_series(
+                "strength",
+                list(result.attack_strengths),
+                curves,
+                title=(
+                    f"Figure 4({panel}) reproduction — {dataset}, {activation} output "
+                    f"(scale={result.scale_name})"
+                ),
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def main() -> None:  # pragma: no cover - console entry point
+    """Run the Figure 4 reproduction at bench scale and print the curves."""
+    result = run_figure4("bench")
+    print(format_figure4(result))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

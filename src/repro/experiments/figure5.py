@@ -1,0 +1,267 @@
+"""Figure 5 — surrogate-based black-box attacks with power information.
+
+The paper's Figure 5 has four rows, one per (dataset, observation mode)
+combination: MNIST/label-only, MNIST/raw-output, CIFAR-10/label-only,
+CIFAR-10/raw-output.  Each row contains three panels:
+
+* surrogate test accuracy vs number of queries, one curve per power-loss
+  weight λ (left panels a, d, g, j),
+* oracle test accuracy under FGSM examples crafted on the surrogate
+  (attack strength 0.1) vs number of queries (centre panels b, e, h, k),
+* the improvement in the oracle's accuracy *degradation* when power
+  information is used, relative to λ = 0, with asterisks marking p < 0.05
+  under a Student's t-test over the independent runs (right panels c, f, i, l).
+
+This module reproduces all three panels for any subset of datasets and
+observation modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.statistics import independent_ttest
+from repro.attacks.oracle import Oracle
+from repro.attacks.surrogate import SurrogateAttack, SurrogateConfig
+from repro.experiments.config import ExperimentScale, resolve_scale
+from repro.experiments.reporting import format_series
+from repro.experiments.runner import prepare_dataset, prepare_model
+from repro.utils.rng import seeds_for_runs
+
+#: Figure 5 row labels keyed by (dataset, output_mode).
+ROW_LABELS: Dict[Tuple[str, str], str] = {
+    ("mnist-like", "label"): "ROW 1 (panels a,b,c)",
+    ("mnist-like", "raw"): "ROW 2 (panels d,e,f)",
+    ("cifar-like", "label"): "ROW 3 (panels g,h,i)",
+    ("cifar-like", "raw"): "ROW 4 (panels j,k,l)",
+}
+
+DEFAULT_ROWS: Tuple[Tuple[str, str], ...] = (
+    ("mnist-like", "label"),
+    ("mnist-like", "raw"),
+    ("cifar-like", "label"),
+    ("cifar-like", "raw"),
+)
+
+
+@dataclass
+class Figure5Row:
+    """Results for one row of Figure 5 (one dataset / observation mode)."""
+
+    dataset: str
+    output_mode: str
+    query_counts: Tuple[int, ...]
+    power_loss_weights: Tuple[float, ...]
+    #: surrogate_accuracy[lambda][query index] -> list over runs
+    surrogate_accuracy: Dict[float, List[List[float]]] = field(default_factory=dict)
+    #: adversarial_accuracy[lambda][query index] -> list over runs
+    adversarial_accuracy: Dict[float, List[List[float]]] = field(default_factory=dict)
+    oracle_clean_accuracy: float = 0.0
+
+    def mean_surrogate_curve(self, power_loss_weight: float) -> List[float]:
+        """Mean surrogate accuracy vs queries for one λ (left panel curve)."""
+        return [float(np.mean(vals)) for vals in self.surrogate_accuracy[power_loss_weight]]
+
+    def mean_adversarial_curve(self, power_loss_weight: float) -> List[float]:
+        """Mean oracle adversarial accuracy vs queries for one λ (centre panel)."""
+        return [float(np.mean(vals)) for vals in self.adversarial_accuracy[power_loss_weight]]
+
+    def degradation_improvement(
+        self, power_loss_weight: float, *, alpha: float = 0.05
+    ) -> List[Dict[str, float]]:
+        """Right-panel data: improvement over λ=0 with significance markers.
+
+        The paper plots the *difference in accuracy degradation* between the
+        power-augmented and power-free surrogates; positive values mean the
+        power information made the attack more effective.
+        """
+        if 0.0 not in self.adversarial_accuracy:
+            raise ValueError("the λ=0 baseline is required to compute improvements")
+        baseline = self.adversarial_accuracy[0.0]
+        candidate = self.adversarial_accuracy[power_loss_weight]
+        improvements = []
+        for query_index in range(len(self.query_counts)):
+            base_vals = np.asarray(baseline[query_index], dtype=float)
+            cand_vals = np.asarray(candidate[query_index], dtype=float)
+            # degradation = clean - adversarial; improvement = degradation_power - degradation_baseline
+            # which equals baseline_adv - candidate_adv.
+            improvement = float(np.mean(base_vals) - np.mean(cand_vals))
+            if len(base_vals) >= 2 and len(cand_vals) >= 2:
+                test = independent_ttest(base_vals, cand_vals, alpha=alpha)
+                p_value, significant = test.p_value, test.significant
+            else:
+                p_value, significant = 1.0, False
+            improvements.append(
+                {
+                    "n_queries": float(self.query_counts[query_index]),
+                    "improvement": improvement,
+                    "p_value": p_value,
+                    "significant": bool(significant),
+                }
+            )
+        return improvements
+
+
+@dataclass
+class Figure5Result:
+    """All requested rows of Figure 5."""
+
+    scale_name: str
+    rows: Dict[Tuple[str, str], Figure5Row] = field(default_factory=dict)
+
+    def row(self, dataset: str, output_mode: str) -> Figure5Row:
+        """One row of the figure."""
+        return self.rows[(dataset, output_mode)]
+
+
+def _run_row(
+    dataset_name: str,
+    output_mode: str,
+    scale: ExperimentScale,
+    *,
+    base_seed: int,
+    attack_strength: float,
+) -> Figure5Row:
+    """Run the full query-count × λ sweep for one Figure 5 row."""
+    query_counts = tuple(int(q) for q in scale.query_counts)
+    lambdas = tuple(float(l) for l in scale.power_loss_weights)
+    row = Figure5Row(
+        dataset=dataset_name,
+        output_mode=output_mode,
+        query_counts=query_counts,
+        power_loss_weights=lambdas,
+        surrogate_accuracy={lam: [[] for _ in query_counts] for lam in lambdas},
+        adversarial_accuracy={lam: [[] for _ in query_counts] for lam in lambdas},
+    )
+    seeds = seeds_for_runs(base_seed, scale.n_runs)
+    clean_accuracies = []
+    for seed in seeds:
+        dataset = prepare_dataset(dataset_name, scale, random_state=seed)
+        # The oracles are the linear-output single-layer networks (Section IV
+        # uses only the linear activation for the surrogate output loss).
+        victim = prepare_model(dataset, "linear", scale, random_state=seed)
+        clean_accuracies.append(victim.test_accuracy)
+        for lam in lambdas:
+            config = SurrogateConfig(
+                power_loss_weight=lam, epochs=scale.surrogate_epochs
+            )
+            for query_index, n_queries in enumerate(query_counts):
+                oracle = Oracle(
+                    victim.network,
+                    output_mode=output_mode,
+                    expose_power=lam > 0,
+                    random_state=seed,
+                )
+                attack = SurrogateAttack(
+                    oracle,
+                    config=config,
+                    attack_strength=attack_strength,
+                    random_state=seed + 7919 * (query_index + 1),
+                )
+                query_inputs = dataset.query_pool(n_queries, random_state=seed + query_index)
+                outcome = attack.run(
+                    query_inputs, dataset.test_inputs, dataset.test_targets
+                )
+                row.surrogate_accuracy[lam][query_index].append(
+                    outcome.surrogate_test_accuracy
+                )
+                row.adversarial_accuracy[lam][query_index].append(
+                    outcome.oracle_adversarial_accuracy
+                )
+    row.oracle_clean_accuracy = float(np.mean(clean_accuracies))
+    return row
+
+
+def run_figure5(
+    scale="bench",
+    *,
+    rows: Optional[Sequence[Tuple[str, str]]] = None,
+    base_seed: int = 0,
+    attack_strength: float = 0.1,
+) -> Figure5Result:
+    """Reproduce Figure 5.
+
+    Parameters
+    ----------
+    scale:
+        Size preset or :class:`ExperimentScale`.
+    rows:
+        Which (dataset, output_mode) rows to run; defaults to all four.
+    attack_strength:
+        FGSM ε applied to the oracle (0.1 in the paper).
+    """
+    scale = resolve_scale(scale)
+    if rows is None:
+        rows = DEFAULT_ROWS
+    result = Figure5Result(scale_name=scale.name)
+    for dataset_name, output_mode in rows:
+        result.rows[(dataset_name, output_mode)] = _run_row(
+            dataset_name,
+            output_mode,
+            scale,
+            base_seed=base_seed,
+            attack_strength=attack_strength,
+        )
+    return result
+
+
+def format_figure5(result: Figure5Result) -> str:
+    """Render every requested row as three text panels."""
+    sections = []
+    for (dataset, output_mode), row in result.rows.items():
+        label = ROW_LABELS.get((dataset, output_mode), f"{dataset}/{output_mode}")
+        lambdas = row.power_loss_weights
+        surrogate_series = {
+            f"lambda={lam:g}": row.mean_surrogate_curve(lam) for lam in lambdas
+        }
+        adversarial_series = {
+            f"lambda={lam:g}": row.mean_adversarial_curve(lam) for lam in lambdas
+        }
+        sections.append(
+            format_series(
+                "queries",
+                list(row.query_counts),
+                surrogate_series,
+                title=f"Figure 5 {label} — surrogate test accuracy ({dataset}, {output_mode} outputs)",
+            )
+        )
+        sections.append(
+            format_series(
+                "queries",
+                list(row.query_counts),
+                adversarial_series,
+                title=(
+                    f"Figure 5 {label} — oracle accuracy under transferred FGSM "
+                    f"(clean accuracy {row.oracle_clean_accuracy:.3f})"
+                ),
+            )
+        )
+        improvement_lines = [
+            f"Figure 5 {label} — attack-efficacy improvement over lambda=0 ('*' = p<0.05)"
+        ]
+        for lam in lambdas:
+            if lam == 0.0:
+                continue
+            entries = row.degradation_improvement(lam)
+            rendered = "  ".join(
+                f"Q={int(e['n_queries'])}:{e['improvement']:+.3f}{'*' if e['significant'] else ' '}"
+                for e in entries
+            )
+            improvement_lines.append(f"  lambda={lam:g}: {rendered}")
+        sections.append("\n".join(improvement_lines))
+    return "\n\n".join(sections)
+
+
+def main() -> None:  # pragma: no cover - console entry point
+    """Run the MNIST rows of Figure 5 at bench scale and print them."""
+    result = run_figure5(
+        "bench", rows=(("mnist-like", "label"), ("mnist-like", "raw"))
+    )
+    print(format_figure5(result))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,68 @@
+"""Plain-text table / series formatting for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: str | None = None,
+    float_precision: int = 3,
+) -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    formatted_rows: List[List[str]] = []
+    for row in rows:
+        formatted_rows.append(
+            [
+                f"{value:.{float_precision}f}" if isinstance(value, float) else str(value)
+                for value in row
+            ]
+        )
+    widths = [len(str(header)) for header in headers]
+    for row in formatted_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row([str(h) for h in headers]))
+    lines.append(render_row(["-" * w for w in widths]))
+    lines.extend(render_row(row) for row in formatted_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str | None = None,
+    float_precision: int = 3,
+) -> str:
+    """Render several y-series against a shared x axis as a table.
+
+    This is the text equivalent of one plot panel: one column per curve.
+    """
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for index, x in enumerate(x_values):
+        row = [x] + [float(values[index]) for values in series.values()]
+        rows.append(row)
+    return format_table(headers, rows, title=title, float_precision=float_precision)
+
+
+def format_mapping(values: Dict[str, float], *, title: str | None = None) -> str:
+    """Render a flat ``name -> value`` mapping."""
+    lines = [title] if title else []
+    width = max((len(k) for k in values), default=0)
+    for key, value in values.items():
+        rendered = f"{value:.4f}" if isinstance(value, float) else str(value)
+        lines.append(f"{key.ljust(width)}  {rendered}")
+    return "\n".join(lines)

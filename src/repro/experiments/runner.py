@@ -1,0 +1,88 @@
+"""Shared experiment plumbing: dataset/model preparation and multi-seed runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.datasets import Dataset, load_dataset
+from repro.experiments.config import ExperimentScale
+from repro.nn.network import SingleLayerNetwork
+from repro.nn.trainer import Trainer, train_single_layer
+from repro.utils.results import RunResult, SweepResult
+from repro.utils.rng import seeds_for_runs
+
+
+@dataclass
+class TrainedModel:
+    """A victim model together with its dataset and training diagnostics."""
+
+    network: SingleLayerNetwork
+    dataset: Dataset
+    output: str
+    test_accuracy: float
+    train_accuracy: float
+
+    @property
+    def n_features(self) -> int:
+        """Input dimensionality."""
+        return self.dataset.n_features
+
+
+def prepare_dataset(
+    name: str,
+    scale: ExperimentScale,
+    *,
+    random_state: int = 0,
+) -> Dataset:
+    """Generate one dataset at the requested scale."""
+    return load_dataset(
+        name, n_train=scale.n_train, n_test=scale.n_test, random_state=random_state
+    )
+
+
+def prepare_model(
+    dataset: Dataset,
+    output: str,
+    scale: ExperimentScale,
+    *,
+    random_state: int = 0,
+) -> TrainedModel:
+    """Train the paper's single-layer victim model on a dataset."""
+    network, trainer = train_single_layer(
+        dataset,
+        output=output,
+        epochs=scale.train_epochs,
+        random_state=random_state,
+    )
+    _, test_accuracy = trainer.evaluate(dataset.test_inputs, dataset.test_targets)
+    _, train_accuracy = trainer.evaluate(dataset.train_inputs, dataset.train_targets)
+    return TrainedModel(
+        network=network,
+        dataset=dataset,
+        output=output,
+        test_accuracy=test_accuracy,
+        train_accuracy=train_accuracy,
+    )
+
+
+def run_multi_seed(
+    name: str,
+    run_fn: Callable[[int, int], RunResult],
+    *,
+    n_runs: int,
+    base_seed: Optional[int] = 0,
+) -> SweepResult:
+    """Run ``run_fn(run_index, seed)`` for ``n_runs`` independent seeds.
+
+    The derived seeds are deterministic in ``base_seed`` so the whole sweep is
+    reproducible, while every run receives an independent stream.
+    """
+    sweep = SweepResult(name=name, metadata={"n_runs": n_runs, "base_seed": base_seed})
+    seeds: List[int] = seeds_for_runs(base_seed, n_runs)
+    for run_index, seed in enumerate(seeds):
+        result = run_fn(run_index, seed)
+        result.metadata.setdefault("seed", seed)
+        result.metadata.setdefault("run_index", run_index)
+        sweep.add(result)
+    return sweep

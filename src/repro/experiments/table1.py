@@ -1,0 +1,175 @@
+"""Table I — correlation between loss sensitivity and weight-column 1-norms.
+
+For each of the four dataset/activation configurations the paper reports, on
+the train and test splits, the "Mean Correlation" (per-sample correlation of
+``|∂L/∂u|`` with the column 1-norms, averaged over samples) and the
+"Correlation of Mean" (correlation of the set-averaged sensitivity with the
+column 1-norms), averaged over independent runs.
+
+The 1-norms used here are obtained the way the attacker would obtain them: by
+probing the power side channel of the simulated crossbar accelerator
+(:class:`~repro.sidechannel.probing.ColumnNormProber`), which for the ideal
+crossbar equals the true 1-norms up to a positive scale factor (correlation is
+invariant to that scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.correlation import sensitivity_norm_correlations
+from repro.crossbar.accelerator import CrossbarAccelerator
+from repro.experiments.config import PAPER_CONFIGURATIONS, ExperimentScale, resolve_scale
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import prepare_dataset, prepare_model, run_multi_seed
+from repro.sidechannel.measurement import PowerMeasurement
+from repro.sidechannel.probing import ColumnNormProber
+from repro.utils.results import RunResult, SweepResult
+
+#: The values printed in the paper's Table I, for side-by-side comparison.
+PAPER_TABLE1: Dict[Tuple[str, str], Dict[str, float]] = {
+    ("mnist-like", "linear"): {
+        "mean_correlation_train": 0.70,
+        "mean_correlation_test": 0.70,
+        "correlation_of_mean_train": 0.99,
+        "correlation_of_mean_test": 0.98,
+    },
+    ("mnist-like", "softmax"): {
+        "mean_correlation_train": 0.52,
+        "mean_correlation_test": 0.52,
+        "correlation_of_mean_train": 0.92,
+        "correlation_of_mean_test": 0.92,
+    },
+    ("cifar-like", "linear"): {
+        "mean_correlation_train": 0.26,
+        "mean_correlation_test": 0.26,
+        "correlation_of_mean_train": 0.87,
+        "correlation_of_mean_test": 0.87,
+    },
+    ("cifar-like", "softmax"): {
+        "mean_correlation_train": 0.33,
+        "mean_correlation_test": 0.33,
+        "correlation_of_mean_train": 0.91,
+        "correlation_of_mean_test": 0.91,
+    },
+}
+
+METRIC_KEYS = (
+    "mean_correlation_train",
+    "mean_correlation_test",
+    "correlation_of_mean_train",
+    "correlation_of_mean_test",
+)
+
+
+@dataclass
+class Table1Result:
+    """Aggregated Table I reproduction results."""
+
+    scale_name: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    sweeps: Dict[Tuple[str, str], SweepResult] = field(default_factory=dict)
+
+    def row_for(self, dataset: str, activation: str) -> Dict[str, object]:
+        """Return the aggregated row for one configuration."""
+        for row in self.rows:
+            if row["dataset"] == dataset and row["activation"] == activation:
+                return row
+        raise KeyError(f"no row for ({dataset}, {activation})")
+
+
+def _single_run(
+    dataset_name: str, activation: str, scale: ExperimentScale, seed: int
+) -> RunResult:
+    """Train one victim and compute both correlation statistics."""
+    dataset = prepare_dataset(dataset_name, scale, random_state=seed)
+    model = prepare_model(dataset, activation, scale, random_state=seed)
+
+    accelerator = CrossbarAccelerator(model.network, random_state=seed)
+    prober = ColumnNormProber(PowerMeasurement(accelerator), dataset.n_features)
+    leaked_norms = prober.probe_all().column_sums
+
+    result = RunResult(
+        name=f"table1/{dataset_name}/{activation}",
+        metadata={"dataset": dataset_name, "activation": activation},
+    )
+    for split in ("train", "test"):
+        inputs = dataset.train_inputs if split == "train" else dataset.test_inputs
+        targets = dataset.train_targets if split == "train" else dataset.test_targets
+        summary = sensitivity_norm_correlations(
+            model.network, inputs, targets, column_norms=leaked_norms
+        )
+        result.add_metric(f"mean_correlation_{split}", summary.mean_correlation)
+        result.add_metric(f"correlation_of_mean_{split}", summary.correlation_of_mean)
+    result.add_metric("victim_test_accuracy", model.test_accuracy)
+    return result
+
+
+def run_table1(scale="bench", *, base_seed: int = 0) -> Table1Result:
+    """Reproduce Table I at the requested scale."""
+    scale = resolve_scale(scale)
+    output = Table1Result(scale_name=scale.name)
+    for dataset_name, activation in PAPER_CONFIGURATIONS:
+        sweep = run_multi_seed(
+            f"table1/{dataset_name}/{activation}",
+            lambda run_index, seed: _single_run(dataset_name, activation, scale, seed),
+            n_runs=scale.n_runs,
+            base_seed=base_seed,
+        )
+        row: Dict[str, object] = {"dataset": dataset_name, "activation": activation}
+        for key in METRIC_KEYS:
+            row[key] = sweep.mean_metric(key)
+            row[f"{key}_std"] = sweep.std_metric(key)
+        row["paper"] = PAPER_TABLE1[(dataset_name, activation)]
+        row["victim_test_accuracy"] = sweep.mean_metric("victim_test_accuracy")
+        output.rows.append(row)
+        output.sweeps[(dataset_name, activation)] = sweep
+    return output
+
+
+def format_table1(result: Table1Result) -> str:
+    """Render the reproduction next to the paper's reported values."""
+    headers = [
+        "Dataset",
+        "Activation",
+        "MeanCorr(train)",
+        "MeanCorr(test)",
+        "CorrOfMean(train)",
+        "CorrOfMean(test)",
+        "Paper MeanCorr(test)",
+        "Paper CorrOfMean(test)",
+    ]
+    rows = []
+    for row in result.rows:
+        paper = row["paper"]
+        rows.append(
+            [
+                row["dataset"],
+                row["activation"],
+                float(row["mean_correlation_train"]),
+                float(row["mean_correlation_test"]),
+                float(row["correlation_of_mean_train"]),
+                float(row["correlation_of_mean_test"]),
+                float(paper["mean_correlation_test"]),
+                float(paper["correlation_of_mean_test"]),
+            ]
+        )
+    return format_table(
+        headers,
+        rows,
+        title=f"Table I reproduction (scale={result.scale_name})",
+        float_precision=2,
+    )
+
+
+def main() -> None:  # pragma: no cover - console entry point
+    """Run the Table I reproduction at bench scale and print it."""
+    result = run_table1("bench")
+    print(format_table1(result))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

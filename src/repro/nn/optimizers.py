@@ -1,0 +1,169 @@
+"""Gradient-based optimizers.
+
+The paper trains its single-layer networks with ordinary stochastic gradient
+descent; Momentum and Adam are provided because the surrogate-training
+experiments converge noticeably faster with Adam at no cost to fidelity.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Type
+
+import numpy as np
+
+from repro.nn.network import Sequential
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class Optimizer(ABC):
+    """Base class: updates a network in place from its stored gradients."""
+
+    name: str = "optimizer"
+
+    def __init__(self, learning_rate: float = 0.01):
+        self.learning_rate = check_positive(learning_rate, "learning_rate")
+
+    @abstractmethod
+    def step(self, network: Sequential) -> None:
+        """Apply one update using the gradients stored on the network layers."""
+
+    def reset(self) -> None:
+        """Clear any internal state (momentum buffers, step counters)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(learning_rate={self.learning_rate})"
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional weight decay."""
+
+    name = "sgd"
+
+    def __init__(self, learning_rate: float = 0.01, weight_decay: float = 0.0):
+        super().__init__(learning_rate)
+        self.weight_decay = check_non_negative(weight_decay, "weight_decay")
+
+    def step(self, network: Sequential) -> None:
+        for layer in network.layers:
+            if layer.grad_weights is None:
+                raise RuntimeError("optimizer step requires gradients; call backward first")
+            grad = layer.grad_weights
+            if self.weight_decay:
+                grad = grad + self.weight_decay * layer.weights
+            layer.weights -= self.learning_rate * grad
+            if layer.use_bias and layer.grad_bias is not None:
+                layer.bias -= self.learning_rate * layer.grad_bias
+
+
+class Momentum(Optimizer):
+    """SGD with classical momentum."""
+
+    name = "momentum"
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self.weight_decay = check_non_negative(weight_decay, "weight_decay")
+        self._velocity: Dict[int, Dict[str, np.ndarray]] = {}
+
+    def reset(self) -> None:
+        self._velocity.clear()
+
+    def step(self, network: Sequential) -> None:
+        for index, layer in enumerate(network.layers):
+            if layer.grad_weights is None:
+                raise RuntimeError("optimizer step requires gradients; call backward first")
+            state = self._velocity.setdefault(index, {})
+            grad_w = layer.grad_weights
+            if self.weight_decay:
+                grad_w = grad_w + self.weight_decay * layer.weights
+            vel_w = state.get("weights", np.zeros_like(layer.weights))
+            vel_w = self.momentum * vel_w - self.learning_rate * grad_w
+            state["weights"] = vel_w
+            layer.weights += vel_w
+            if layer.use_bias and layer.grad_bias is not None:
+                vel_b = state.get("bias", np.zeros_like(layer.bias))
+                vel_b = self.momentum * vel_b - self.learning_rate * layer.grad_bias
+                state["bias"] = vel_b
+                layer.bias += vel_b
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    name = "adam"
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0:
+            raise ValueError(f"beta1 must be in [0, 1), got {beta1}")
+        if not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"beta2 must be in [0, 1), got {beta2}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = check_positive(epsilon, "epsilon")
+        self.weight_decay = check_non_negative(weight_decay, "weight_decay")
+        self._moments: Dict[int, Dict[str, np.ndarray]] = {}
+        self._step_count = 0
+
+    def reset(self) -> None:
+        self._moments.clear()
+        self._step_count = 0
+
+    def _update(self, state: Dict[str, np.ndarray], key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        m = state.get(f"m_{key}", np.zeros_like(param))
+        v = state.get(f"v_{key}", np.zeros_like(param))
+        m = self.beta1 * m + (1.0 - self.beta1) * grad
+        v = self.beta2 * v + (1.0 - self.beta2) * grad**2
+        state[f"m_{key}"] = m
+        state[f"v_{key}"] = v
+        m_hat = m / (1.0 - self.beta1**self._step_count)
+        v_hat = v / (1.0 - self.beta2**self._step_count)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def step(self, network: Sequential) -> None:
+        self._step_count += 1
+        for index, layer in enumerate(network.layers):
+            if layer.grad_weights is None:
+                raise RuntimeError("optimizer step requires gradients; call backward first")
+            state = self._moments.setdefault(index, {})
+            grad_w = layer.grad_weights
+            if self.weight_decay:
+                grad_w = grad_w + self.weight_decay * layer.weights
+            self._update(state, "weights", layer.weights, grad_w)
+            if layer.use_bias and layer.grad_bias is not None:
+                self._update(state, "bias", layer.bias, layer.grad_bias)
+
+
+_OPTIMIZERS: Dict[str, Type[Optimizer]] = {
+    SGD.name: SGD,
+    Momentum.name: Momentum,
+    Adam.name: Adam,
+}
+
+
+def get_optimizer(name, **kwargs) -> Optimizer:
+    """Look up an optimizer by name, or pass through an Optimizer instance."""
+    if isinstance(name, Optimizer):
+        return name
+    if isinstance(name, type) and issubclass(name, Optimizer):
+        return name(**kwargs)
+    key = str(name).lower()
+    if key not in _OPTIMIZERS:
+        raise KeyError(f"unknown optimizer {name!r}; available: {sorted(_OPTIMIZERS)}")
+    return _OPTIMIZERS[key](**kwargs)

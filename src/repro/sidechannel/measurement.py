@@ -1,0 +1,129 @@
+"""Attacker-side power measurement of a crossbar target.
+
+:class:`PowerMeasurement` wraps any object exposing ``total_current(inputs)``
+(a :class:`~repro.crossbar.tile.CrossbarTile` or
+:class:`~repro.crossbar.accelerator.CrossbarAccelerator`) and models the
+attacker's oscilloscope: additive/relative measurement noise, averaging over
+repeated reads, and accounting of how many queries have been spent — the
+quantity the paper trades off against attack efficacy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import check_non_negative, check_positive_int
+
+
+class QueryBudgetExceeded(RuntimeError):
+    """Raised when a measurement would exceed the configured query budget."""
+
+
+class SupportsTotalCurrent(Protocol):
+    """Anything that can report a total current for input vectors."""
+
+    def total_current(self, inputs: np.ndarray) -> np.ndarray:  # pragma: no cover
+        ...
+
+
+class PowerMeasurement:
+    """The attacker's view of the crossbar power rail.
+
+    Parameters
+    ----------
+    target:
+        Object exposing ``total_current(inputs)``.
+    noise_std:
+        Standard deviation of additive Gaussian measurement noise, expressed
+        relative to the mean magnitude of the measured currents (e.g. ``0.01``
+        = 1% noise).  This is the attacker's instrument noise, independent of
+        any hardware non-ideality configured on the target.
+    n_averages:
+        Number of repeated reads averaged per query (averaging reduces the
+        effective noise by ``sqrt(n_averages)`` but costs that many queries).
+    query_budget:
+        Optional hard cap on the number of queries; exceeded measurements
+        raise :class:`QueryBudgetExceeded`.
+    random_state:
+        Seed for the measurement noise.
+    """
+
+    def __init__(
+        self,
+        target: SupportsTotalCurrent,
+        *,
+        noise_std: float = 0.0,
+        n_averages: int = 1,
+        query_budget: Optional[int] = None,
+        random_state: RandomState = None,
+    ):
+        self.target = target
+        self.noise_std = check_non_negative(noise_std, "noise_std")
+        self.n_averages = check_positive_int(n_averages, "n_averages")
+        if query_budget is not None:
+            check_positive_int(query_budget, "query_budget")
+        self.query_budget = query_budget
+        self._rng = as_rng(random_state)
+        self._queries_used = 0
+
+    # ----------------------------------------------------------- accounting
+
+    @property
+    def queries_used(self) -> int:
+        """Total number of (averaged) reads issued so far."""
+        return self._queries_used
+
+    @property
+    def queries_remaining(self) -> Optional[int]:
+        """Remaining budget, or ``None`` when unbounded."""
+        if self.query_budget is None:
+            return None
+        return max(0, self.query_budget - self._queries_used)
+
+    def reset_counter(self) -> None:
+        """Reset the query counter (e.g. between experiment repetitions)."""
+        self._queries_used = 0
+
+    def _charge(self, n_queries: int) -> None:
+        if (
+            self.query_budget is not None
+            and self._queries_used + n_queries > self.query_budget
+        ):
+            raise QueryBudgetExceeded(
+                f"measurement of {n_queries} queries would exceed the budget of "
+                f"{self.query_budget} (already used {self._queries_used})"
+            )
+        self._queries_used += n_queries
+
+    # ----------------------------------------------------------- measurement
+
+    def measure(self, inputs: np.ndarray) -> np.ndarray:
+        """Measure the total current for each input vector.
+
+        Returns a ``(B,)`` array; a single 1-D input returns a scalar.
+        """
+        inputs = np.asarray(inputs, dtype=float)
+        single = inputs.ndim == 1
+        batch = np.atleast_2d(inputs)
+        self._charge(len(batch) * self.n_averages)
+
+        readings = np.zeros(len(batch), dtype=float)
+        for _ in range(self.n_averages):
+            currents = np.atleast_1d(np.asarray(self.target.total_current(batch), dtype=float))
+            readings += currents
+        readings /= self.n_averages
+
+        if self.noise_std > 0:
+            scale = np.mean(np.abs(readings)) if np.any(readings) else 1.0
+            effective_std = self.noise_std * scale / np.sqrt(self.n_averages)
+            readings = readings + self._rng.normal(0.0, effective_std, size=readings.shape)
+        return float(readings[0]) if single else readings
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PowerMeasurement(noise_std={self.noise_std}, n_averages={self.n_averages}, "
+            f"queries_used={self.queries_used})"
+        )

@@ -1,0 +1,149 @@
+"""Basis-vector probing of the crossbar power channel.
+
+Section II-B of the paper: "setting ``v_u1 = Vdd`` and grounding all other
+inputs leads to ``G_1 = i_total / Vdd``".  Repeating for every input recovers
+all column conductance sums, which under the min-power mapping are affine in
+the column 1-norms of the weight matrix.  The prober also measures the
+all-zero input to remove the affine offset contributed by ``g_min`` devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.sidechannel.measurement import PowerMeasurement
+from repro.utils.validation import check_positive, check_positive_int
+
+
+@dataclass
+class ProbeResult:
+    """Result of probing a set of input columns.
+
+    Attributes
+    ----------
+    indices:
+        The probed column indices.
+    column_sums:
+        Estimated conductance sums ``G_j`` for those columns (offset-corrected
+        when a baseline probe was taken).
+    baseline:
+        The measured current for the all-zero input (0 for an ideal crossbar).
+    queries_used:
+        Number of power queries spent producing this result.
+    """
+
+    indices: np.ndarray
+    column_sums: np.ndarray
+    baseline: float
+    queries_used: int
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.indices = np.asarray(self.indices, dtype=int)
+        self.column_sums = np.asarray(self.column_sums, dtype=float)
+        if self.indices.shape != self.column_sums.shape:
+            raise ValueError("indices and column_sums must have the same shape")
+
+    def full_vector(self, n_inputs: int, fill_value: float = np.nan) -> np.ndarray:
+        """Expand to a length-``n_inputs`` vector with unknown entries filled."""
+        vector = np.full(n_inputs, fill_value, dtype=float)
+        vector[self.indices] = self.column_sums
+        return vector
+
+    def argmax(self) -> int:
+        """Index (into the original input space) of the largest probed sum."""
+        return int(self.indices[int(np.argmax(self.column_sums))])
+
+    def ranking(self) -> np.ndarray:
+        """Probed indices ordered from largest to smallest conductance sum."""
+        order = np.argsort(self.column_sums)[::-1]
+        return self.indices[order]
+
+
+class ColumnNormProber:
+    """Recovers column conductance sums through basis-vector power queries.
+
+    Parameters
+    ----------
+    measurement:
+        A :class:`~repro.sidechannel.measurement.PowerMeasurement` wrapping
+        the target crossbar.
+    n_inputs:
+        Input dimensionality N of the target.
+    drive_voltage:
+        The voltage applied to the probed line (the paper's Vdd, 1.0 in the
+        normalised formulation).
+    measure_baseline:
+        Whether to spend one extra query on the all-zero input so the
+        ``g_min`` offset can be subtracted.  For the ideal device the baseline
+        is zero and this is unnecessary.
+    """
+
+    def __init__(
+        self,
+        measurement: PowerMeasurement,
+        n_inputs: int,
+        *,
+        drive_voltage: float = 1.0,
+        measure_baseline: bool = False,
+    ):
+        self.measurement = measurement
+        self.n_inputs = check_positive_int(n_inputs, "n_inputs")
+        self.drive_voltage = check_positive(drive_voltage, "drive_voltage")
+        self.measure_baseline = bool(measure_baseline)
+
+    # ------------------------------------------------------------------ api
+
+    def _baseline(self) -> float:
+        if not self.measure_baseline:
+            return 0.0
+        zero = np.zeros(self.n_inputs)
+        return float(self.measurement.measure(zero))
+
+    def probe_indices(self, indices: Sequence[int]) -> ProbeResult:
+        """Probe a subset of input columns; one query per column."""
+        indices = np.asarray(list(indices), dtype=int)
+        if indices.size == 0:
+            raise ValueError("indices must not be empty")
+        if indices.min() < 0 or indices.max() >= self.n_inputs:
+            raise ValueError(
+                f"indices must lie in [0, {self.n_inputs}), got range "
+                f"[{indices.min()}, {indices.max()}]"
+            )
+        queries_before = self.measurement.queries_used
+        baseline = self._baseline()
+        probes = np.zeros((len(indices), self.n_inputs), dtype=float)
+        probes[np.arange(len(indices)), indices] = self.drive_voltage
+        currents = np.atleast_1d(self.measurement.measure(probes))
+        column_sums = (currents - baseline) / self.drive_voltage
+        return ProbeResult(
+            indices=indices,
+            column_sums=column_sums,
+            baseline=baseline,
+            queries_used=self.measurement.queries_used - queries_before,
+        )
+
+    def probe_all(self) -> ProbeResult:
+        """Probe every input column (N queries, plus one optional baseline)."""
+        return self.probe_indices(np.arange(self.n_inputs))
+
+    def estimate_column_norms(self, reference_weights: Optional[np.ndarray] = None) -> np.ndarray:
+        """Probe everything and return values proportional to the column 1-norms.
+
+        When ``reference_weights`` is given the result is rescaled so that its
+        maximum matches the true maximum column 1-norm, which is convenient
+        for correlation analyses; the attack itself only needs the ordering,
+        which rescaling does not change.
+        """
+        result = self.probe_all()
+        sums = result.column_sums
+        if reference_weights is None:
+            return sums
+        reference = np.abs(np.asarray(reference_weights, dtype=float)).sum(axis=0)
+        peak = sums.max()
+        if peak <= 0:
+            return sums
+        return sums * (reference.max() / peak)

@@ -1,0 +1,55 @@
+"""Serialization helpers for models and experiment results."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+class _NumpyJSONEncoder(json.JSONEncoder):
+    """JSON encoder that understands numpy scalars and arrays."""
+
+    def default(self, obj):  # noqa: D102 - documented by base class
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        if isinstance(obj, (np.floating, np.integer)):
+            return obj.item()
+        if isinstance(obj, np.bool_):
+            return bool(obj)
+        return super().default(obj)
+
+
+def save_json(payload: Mapping[str, Any], path: PathLike, *, indent: int = 2) -> Path:
+    """Write ``payload`` to ``path`` as JSON, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=indent, cls=_NumpyJSONEncoder)
+    return path
+
+
+def load_json(path: PathLike) -> Dict[str, Any]:
+    """Load a JSON document written by :func:`save_json`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_npz(arrays: Mapping[str, np.ndarray], path: PathLike) -> Path:
+    """Save a dictionary of arrays as a compressed ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **{key: np.asarray(val) for key, val in arrays.items()})
+    return path
+
+
+def load_npz(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load an ``.npz`` archive into a plain dictionary of arrays."""
+    path = Path(path)
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files}

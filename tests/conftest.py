@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (datasets, trained victims) are session-scoped so the
+whole suite stays fast while every module is exercised against realistic
+objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crossbar import CrossbarAccelerator
+from repro.datasets import load_cifar_like, load_mnist_like
+from repro.nn.trainer import train_single_layer
+
+
+@pytest.fixture(scope="session")
+def mnist_small():
+    """A small MNIST-like dataset shared across tests."""
+    return load_mnist_like(n_train=600, n_test=200, random_state=0)
+
+
+@pytest.fixture(scope="session")
+def cifar_small():
+    """A small CIFAR-like dataset shared across tests."""
+    return load_cifar_like(n_train=400, n_test=100, random_state=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A very small MNIST-like dataset for fast attack/experiment tests."""
+    return load_mnist_like(n_train=200, n_test=80, image_size=12, random_state=1)
+
+
+@pytest.fixture(scope="session")
+def trained_softmax(mnist_small):
+    """A softmax/cross-entropy victim trained on the small MNIST-like set."""
+    network, trainer = train_single_layer(
+        mnist_small, output="softmax", epochs=20, random_state=0
+    )
+    return network
+
+
+@pytest.fixture(scope="session")
+def trained_linear(mnist_small):
+    """A linear/MSE victim trained on the small MNIST-like set."""
+    network, trainer = train_single_layer(
+        mnist_small, output="linear", epochs=20, random_state=0
+    )
+    return network
+
+
+@pytest.fixture(scope="session")
+def accelerator(trained_softmax):
+    """An ideal crossbar accelerator for the softmax victim."""
+    return CrossbarAccelerator(trained_softmax, random_state=0)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

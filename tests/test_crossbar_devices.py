@@ -1,0 +1,91 @@
+"""Tests for repro.crossbar.devices."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.devices import IDEAL_DEVICE, PCM_DEVICE, RERAM_DEVICE, NVMDeviceModel
+
+
+class TestValidation:
+    def test_negative_g_min_rejected(self):
+        with pytest.raises(ValueError):
+            NVMDeviceModel(name="bad", g_min=-1.0, g_max=1.0)
+
+    def test_g_max_must_exceed_g_min(self):
+        with pytest.raises(ValueError):
+            NVMDeviceModel(name="bad", g_min=1.0, g_max=1.0)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            NVMDeviceModel(name="bad", g_min=0, g_max=1, programming_noise=-0.1)
+        with pytest.raises(ValueError):
+            NVMDeviceModel(name="bad", g_min=0, g_max=1, read_noise=-0.1)
+
+    def test_n_levels_minimum(self):
+        with pytest.raises(ValueError):
+            NVMDeviceModel(name="bad", g_min=0, g_max=1, n_levels=1)
+
+
+class TestProperties:
+    def test_conductance_range(self):
+        device = NVMDeviceModel(name="d", g_min=1e-6, g_max=1e-4)
+        assert device.conductance_range == pytest.approx(9.9e-5)
+
+    def test_on_off_ratio(self):
+        device = NVMDeviceModel(name="d", g_min=1e-6, g_max=1e-4)
+        assert device.on_off_ratio == pytest.approx(100.0)
+        assert IDEAL_DEVICE.on_off_ratio == float("inf")
+
+    def test_presets_are_sane(self):
+        for device in (IDEAL_DEVICE, RERAM_DEVICE, PCM_DEVICE):
+            assert device.g_max > device.g_min >= 0
+
+
+class TestQuantization:
+    def test_continuous_device_only_clips(self):
+        device = NVMDeviceModel(name="d", g_min=0.0, g_max=1.0)
+        values = np.array([-0.5, 0.3, 1.5])
+        np.testing.assert_allclose(device.quantize(values), [0.0, 0.3, 1.0])
+
+    def test_discrete_device_snaps_to_levels(self):
+        device = NVMDeviceModel(name="d", g_min=0.0, g_max=1.0, n_levels=5)
+        values = np.array([0.0, 0.1, 0.24, 0.26, 1.0])
+        quantized = device.quantize(values)
+        levels = np.linspace(0, 1, 5)
+        assert all(np.isclose(levels, q).any() for q in quantized)
+        assert quantized[1] == pytest.approx(0.0)
+        assert quantized[3] == pytest.approx(0.25)
+
+    def test_quantization_idempotent(self, rng):
+        device = NVMDeviceModel(name="d", g_min=0.0, g_max=1.0, n_levels=16)
+        values = rng.uniform(0, 1, size=20)
+        once = device.quantize(values)
+        np.testing.assert_allclose(device.quantize(once), once)
+
+
+class TestNoise:
+    def test_programming_noise_zero_is_identity_plus_clip(self, rng):
+        device = NVMDeviceModel(name="d", g_min=0.0, g_max=1.0)
+        values = np.array([0.2, 0.8])
+        np.testing.assert_allclose(device.apply_programming_noise(values, rng), values)
+
+    def test_programming_noise_changes_values_but_respects_range(self, rng):
+        device = NVMDeviceModel(name="d", g_min=0.0, g_max=1.0, programming_noise=0.2)
+        values = np.full(1000, 0.5)
+        noisy = device.apply_programming_noise(values, rng)
+        assert not np.allclose(noisy, values)
+        assert noisy.min() >= 0.0 and noisy.max() <= 1.0
+        assert abs(noisy.std() - 0.1) < 0.02  # 20% of 0.5
+
+    def test_read_noise_statistics(self, rng):
+        device = NVMDeviceModel(name="d", g_min=0.0, g_max=1.0, read_noise=0.05)
+        values = np.full(2000, 0.4)
+        noisy = device.apply_read_noise(values, rng)
+        assert abs(noisy.mean() - 0.4) < 0.01
+        assert abs(noisy.std() - 0.02) < 0.005
+
+    def test_with_noise_returns_modified_copy(self):
+        modified = IDEAL_DEVICE.with_noise(read_noise=0.1, n_levels=8)
+        assert modified.read_noise == 0.1
+        assert modified.n_levels == 8
+        assert IDEAL_DEVICE.read_noise == 0.0  # original untouched

@@ -1,0 +1,124 @@
+"""Tests for repro.crossbar.mapping — the source of the power side channel."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.devices import IDEAL_DEVICE, RERAM_DEVICE, NVMDeviceModel
+from repro.crossbar.mapping import ConductanceMapping, MappingScheme
+
+
+class TestMinPowerScheme:
+    def test_positive_weight_uses_g_plus_only(self):
+        mapping = ConductanceMapping(device=IDEAL_DEVICE, scheme=MappingScheme.MIN_POWER)
+        weights = np.array([[0.5, -0.25]])
+        g_plus, g_minus = mapping.map(weights, random_state=0)
+        assert g_plus[0, 0] > 0 and g_minus[0, 0] == 0
+        assert g_plus[0, 1] == 0 and g_minus[0, 1] > 0
+
+    def test_differential_recovers_weights(self, rng):
+        mapping = ConductanceMapping(device=IDEAL_DEVICE)
+        weights = rng.normal(size=(4, 6))
+        g_plus, g_minus = mapping.map(weights, random_state=0)
+        np.testing.assert_allclose(mapping.unmap(g_plus, g_minus, weights), weights, atol=1e-12)
+
+    def test_column_sums_proportional_to_1_norms(self, rng):
+        """Eq. 5-6: G_j = scale * sum_i |w_ij| under the ideal min-power mapping."""
+        mapping = ConductanceMapping(device=IDEAL_DEVICE)
+        weights = rng.normal(size=(5, 7))
+        g_plus, g_minus = mapping.map(weights, random_state=0)
+        column_sums = mapping.column_conductance_sums(g_plus, g_minus)
+        scale = mapping.conductance_per_unit_weight(weights)
+        np.testing.assert_allclose(column_sums, scale * np.abs(weights).sum(axis=0), atol=1e-12)
+
+    def test_expected_column_sums_match_actual_for_ideal_device(self, rng):
+        mapping = ConductanceMapping(device=IDEAL_DEVICE)
+        weights = rng.normal(size=(3, 5))
+        g_plus, g_minus = mapping.map(weights, random_state=0)
+        np.testing.assert_allclose(
+            mapping.expected_column_sums(weights),
+            mapping.column_conductance_sums(g_plus, g_minus),
+            atol=1e-12,
+        )
+
+    def test_nonzero_g_min_adds_affine_offset(self, rng):
+        device = NVMDeviceModel(name="d", g_min=0.1, g_max=1.0)
+        mapping = ConductanceMapping(device=device)
+        weights = rng.normal(size=(4, 6))
+        expected = mapping.expected_column_sums(weights)
+        scale = mapping.conductance_per_unit_weight(weights)
+        np.testing.assert_allclose(
+            expected, 2 * 4 * 0.1 + scale * np.abs(weights).sum(axis=0)
+        )
+
+    def test_min_power_uses_less_conductance_than_balanced(self, rng):
+        weights = rng.normal(size=(6, 8))
+        min_power = ConductanceMapping(device=IDEAL_DEVICE, scheme="min_power")
+        balanced = ConductanceMapping(device=IDEAL_DEVICE, scheme="balanced")
+        mp_plus, mp_minus = min_power.map(weights, random_state=0)
+        b_plus, b_minus = balanced.map(weights, random_state=0)
+        assert (mp_plus + mp_minus).sum() < (b_plus + b_minus).sum()
+
+
+class TestBalancedScheme:
+    def test_column_sums_carry_no_weight_information(self, rng):
+        """The balanced mapping is the natural countermeasure: G_j is constant."""
+        mapping = ConductanceMapping(device=IDEAL_DEVICE, scheme=MappingScheme.BALANCED)
+        weights = rng.normal(size=(5, 9))
+        g_plus, g_minus = mapping.map(weights, random_state=0)
+        column_sums = mapping.column_conductance_sums(g_plus, g_minus)
+        assert column_sums.std() < 1e-10
+
+    def test_differential_still_recovers_weights(self, rng):
+        mapping = ConductanceMapping(device=IDEAL_DEVICE, scheme="balanced")
+        weights = rng.normal(size=(4, 6))
+        g_plus, g_minus = mapping.map(weights, random_state=0)
+        np.testing.assert_allclose(mapping.unmap(g_plus, g_minus, weights), weights, atol=1e-12)
+
+    def test_expected_column_sums_constant(self, rng):
+        mapping = ConductanceMapping(device=IDEAL_DEVICE, scheme="balanced")
+        weights = rng.normal(size=(4, 6))
+        expected = mapping.expected_column_sums(weights)
+        np.testing.assert_allclose(expected, expected[0])
+
+
+class TestScalingAndNoise:
+    def test_explicit_weight_scale(self, rng):
+        mapping = ConductanceMapping(device=IDEAL_DEVICE, weight_scale=2.0)
+        weights = rng.uniform(-1, 1, size=(3, 4))
+        assert mapping.resolve_weight_scale(weights) == 2.0
+        assert mapping.conductance_per_unit_weight(weights) == pytest.approx(0.5)
+
+    def test_auto_weight_scale_uses_max_abs(self, rng):
+        mapping = ConductanceMapping(device=IDEAL_DEVICE)
+        weights = np.array([[1.0, -4.0], [2.0, 0.5]])
+        assert mapping.resolve_weight_scale(weights) == 4.0
+
+    def test_zero_weight_matrix_handled(self):
+        mapping = ConductanceMapping(device=IDEAL_DEVICE)
+        g_plus, g_minus = mapping.map(np.zeros((2, 3)), random_state=0)
+        np.testing.assert_allclose(g_plus, 0)
+        np.testing.assert_allclose(g_minus, 0)
+
+    def test_invalid_weight_scale(self):
+        with pytest.raises(ValueError):
+            ConductanceMapping(weight_scale=0.0)
+
+    def test_programming_noise_perturbs_conductances(self, rng):
+        mapping = ConductanceMapping(device=RERAM_DEVICE)
+        weights = rng.normal(size=(8, 8))
+        g_plus_a, _ = mapping.map(weights, random_state=1)
+        g_plus_b, _ = mapping.map(weights, random_state=2)
+        assert not np.allclose(g_plus_a, g_plus_b)
+
+    def test_conductances_respect_device_range(self, rng):
+        mapping = ConductanceMapping(device=RERAM_DEVICE)
+        weights = rng.normal(size=(8, 8))
+        g_plus, g_minus = mapping.map(weights, random_state=0)
+        for g in (g_plus, g_minus):
+            assert g.min() >= 0.0
+            assert g.max() <= RERAM_DEVICE.g_max * (1 + 1e-9)
+
+    def test_scheme_accepts_string(self):
+        assert ConductanceMapping(scheme="balanced").scheme is MappingScheme.BALANCED
+        with pytest.raises(ValueError):
+            ConductanceMapping(scheme="mystery")

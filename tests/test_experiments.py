@@ -1,0 +1,255 @@
+"""Tests for the repro.experiments subpackage (configs, reporting, pipelines)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import (
+    PAPER_CONFIGURATIONS,
+    SCALES,
+    DatasetConfig,
+    ExperimentScale,
+    TrainingConfig,
+    resolve_scale,
+)
+from repro.experiments.figure3 import format_figure3, run_figure3
+from repro.experiments.figure4 import STRATEGIES, format_figure4, run_figure4
+from repro.experiments.figure5 import format_figure5, run_figure5
+from repro.experiments.reporting import format_mapping, format_series, format_table
+from repro.experiments.runner import prepare_dataset, prepare_model, run_multi_seed
+from repro.experiments.table1 import PAPER_TABLE1, format_table1, run_table1
+from repro.utils.results import RunResult
+
+
+class TestConfig:
+    def test_scales_exist(self):
+        assert {"smoke", "bench", "paper"} <= set(SCALES)
+
+    def test_resolve_scale_by_name_and_instance(self):
+        scale = resolve_scale("smoke")
+        assert isinstance(scale, ExperimentScale)
+        assert resolve_scale(scale) is scale
+
+    def test_resolve_unknown(self):
+        with pytest.raises(KeyError):
+            resolve_scale("gigantic")
+
+    def test_with_overrides(self):
+        scale = resolve_scale("smoke").with_overrides(n_runs=7)
+        assert scale.n_runs == 7
+        assert SCALES["smoke"].n_runs != 7
+
+    def test_paper_configurations_cover_four_cases(self):
+        assert len(PAPER_CONFIGURATIONS) == 4
+        datasets = {d for d, _ in PAPER_CONFIGURATIONS}
+        activations = {a for _, a in PAPER_CONFIGURATIONS}
+        assert datasets == {"mnist-like", "cifar-like"}
+        assert activations == {"linear", "softmax"}
+
+    def test_dataset_and_training_config_validation(self):
+        DatasetConfig()
+        TrainingConfig()
+        with pytest.raises(ValueError):
+            DatasetConfig(n_train=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0)
+
+    def test_paper_scale_matches_paper_parameters(self):
+        paper = SCALES["paper"]
+        assert paper.n_runs == 10
+        assert 60000 in paper.query_counts
+        assert paper.attack_strengths == tuple(float(s) for s in range(11))
+        assert max(paper.power_loss_weights) == pytest.approx(0.01)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [[1, 2.5], ["x", 3.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "bbb" in lines[0]
+
+    def test_format_table_with_title(self):
+        text = format_table(["x"], [[1]], title="My table")
+        assert text.startswith("My table")
+
+    def test_format_series(self):
+        text = format_series("q", [1, 2], {"curve": [0.1, 0.2], "other": [0.3, 0.4]})
+        assert "curve" in text and "other" in text
+        assert len(text.splitlines()) == 4
+
+    def test_format_mapping(self):
+        text = format_mapping({"alpha": 0.5, "beta": 1.0}, title="Params")
+        assert text.splitlines()[0] == "Params"
+        assert "alpha" in text
+
+
+class TestRunner:
+    def test_prepare_dataset_and_model(self):
+        scale = resolve_scale("smoke")
+        dataset = prepare_dataset("mnist-like", scale, random_state=0)
+        assert dataset.n_train == scale.n_train
+        model = prepare_model(dataset, "softmax", scale, random_state=0)
+        assert model.test_accuracy > 0.5
+        assert model.n_features == dataset.n_features
+
+    def test_run_multi_seed_is_deterministic(self):
+        def run_fn(run_index, seed):
+            result = RunResult(name=f"run{run_index}")
+            result.add_metric("seed_value", float(seed % 1000))
+            return result
+
+        a = run_multi_seed("sweep", run_fn, n_runs=3, base_seed=5)
+        b = run_multi_seed("sweep", run_fn, n_runs=3, base_seed=5)
+        np.testing.assert_allclose(a.metric_values("seed_value"), b.metric_values("seed_value"))
+        assert len(a) == 3
+
+
+@pytest.fixture(scope="module")
+def smoke_scale():
+    return resolve_scale("smoke")
+
+
+class TestTable1Pipeline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table1("smoke", base_seed=0)
+
+    def test_all_configurations_present(self, result):
+        assert len(result.rows) == 4
+        for dataset, activation in PAPER_CONFIGURATIONS:
+            row = result.row_for(dataset, activation)
+            assert "mean_correlation_test" in row
+
+    def test_correlation_of_mean_exceeds_mean_correlation(self, result):
+        """The paper's central Table I finding must hold in the reproduction."""
+        for row in result.rows:
+            assert row["correlation_of_mean_test"] > row["mean_correlation_test"]
+
+    def test_correlations_positive_and_substantial(self, result):
+        for row in result.rows:
+            assert row["correlation_of_mean_test"] > 0.5
+            assert row["mean_correlation_test"] > 0.0
+
+    def test_paper_reference_attached(self, result):
+        assert result.row_for("mnist-like", "linear")["paper"] == PAPER_TABLE1[
+            ("mnist-like", "linear")
+        ]
+
+    def test_formatting(self, result):
+        text = format_table1(result)
+        assert "Table I" in text
+        assert "mnist-like" in text and "cifar-like" in text
+
+    def test_missing_row_raises(self, result):
+        with pytest.raises(KeyError):
+            result.row_for("svhn", "linear")
+
+
+class TestFigure3Pipeline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure3("smoke", base_seed=0)
+
+    def test_all_panels_present(self, result):
+        assert set(result.maps) == set(PAPER_CONFIGURATIONS)
+
+    def test_maps_have_image_shape(self, result):
+        mnist_maps = result.panel("mnist-like", "softmax")
+        assert mnist_maps.sensitivity.shape == (28, 28)
+        cifar_maps = result.panel("cifar-like", "softmax")
+        assert cifar_maps.sensitivity.shape == (32, 32)
+        assert cifar_maps.channel == 0
+
+    def test_maps_visibly_correlated(self, result):
+        for summary in result.summaries.values():
+            assert summary["map_correlation"] > 0.3
+
+    def test_mnist_smoother_than_cifar(self, result):
+        """Section III: the MNIST 1-norm map changes gradually, CIFAR rapidly."""
+        mnist = result.summaries[("mnist-like", "softmax")]["norm_smoothness"]
+        cifar = result.summaries[("cifar-like", "softmax")]["norm_smoothness"]
+        assert mnist < cifar
+
+    def test_formatting(self, result):
+        assert "Figure 3" in format_figure3(result)
+
+
+class TestFigure4Pipeline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure4("smoke", base_seed=0)
+
+    def test_curves_for_all_configs_and_strategies(self, result):
+        assert set(result.curves) == set(PAPER_CONFIGURATIONS)
+        for curves in result.curves.values():
+            assert set(curves) == {s.paper_label for s in STRATEGIES}
+            for curve in curves.values():
+                assert len(curve) == len(result.attack_strengths)
+
+    def test_zero_strength_equals_clean_accuracy(self, result):
+        for curves in result.curves.values():
+            baselines = {label: curve[0] for label, curve in curves.items()}
+            assert len(set(np.round(list(baselines.values()), 6))) == 1
+
+    def test_mnist_ordering_matches_paper(self, result):
+        """Worst <= power-guided <= RP at the strongest attack (MNIST panels)."""
+        for activation in ("linear", "softmax"):
+            curves = result.curves[("mnist-like", activation)]
+            final = {label: curve[-1] for label, curve in curves.items()}
+            assert final["Worst"] <= final["RD"] + 0.05
+            assert final["RD"] <= final["RP"] + 0.05
+            assert final["+"] < final["RP"]
+
+    def test_formatting(self, result):
+        text = format_figure4(result)
+        assert "Figure 4(a)" in text and "Figure 4(d)" in text
+
+
+class TestFigure5Pipeline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure5(
+            "smoke", rows=(("mnist-like", "label"),), base_seed=0, attack_strength=0.1
+        )
+
+    def test_row_structure(self, result):
+        row = result.row("mnist-like", "label")
+        assert row.query_counts == tuple(SCALES["smoke"].query_counts)
+        assert set(row.surrogate_accuracy) == set(SCALES["smoke"].power_loss_weights)
+
+    def test_curves_have_run_values(self, result):
+        row = result.row("mnist-like", "label")
+        for lam in row.power_loss_weights:
+            for values in row.surrogate_accuracy[lam]:
+                assert len(values) == SCALES["smoke"].n_runs
+
+    def test_surrogate_improves_with_queries(self, result):
+        row = result.row("mnist-like", "label")
+        curve = row.mean_surrogate_curve(0.0)
+        assert curve[-1] > curve[0]
+
+    def test_attack_beats_clean_accuracy(self, result):
+        row = result.row("mnist-like", "label")
+        adversarial = row.mean_adversarial_curve(0.0)
+        assert min(adversarial) < row.oracle_clean_accuracy
+
+    def test_degradation_improvement_entries(self, result):
+        row = result.row("mnist-like", "label")
+        entries = row.degradation_improvement(row.power_loss_weights[-1])
+        assert len(entries) == len(row.query_counts)
+        for entry in entries:
+            assert {"n_queries", "improvement", "p_value", "significant"} <= set(entry)
+
+    def test_degradation_requires_baseline(self, result):
+        row = result.row("mnist-like", "label")
+        saved = row.adversarial_accuracy.pop(0.0)
+        try:
+            with pytest.raises(ValueError):
+                row.degradation_improvement(row.power_loss_weights[-1])
+        finally:
+            row.adversarial_accuracy[0.0] = saved
+
+    def test_formatting(self, result):
+        text = format_figure5(result)
+        assert "surrogate test accuracy" in text
+        assert "improvement over lambda=0" in text

@@ -1,0 +1,130 @@
+"""Tests for repro.nn.optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense
+from repro.nn.losses import MeanSquaredError
+from repro.nn.network import Sequential
+from repro.nn.optimizers import SGD, Adam, Momentum, get_optimizer
+
+
+def make_problem(rng, n_samples=50, n_inputs=6, n_outputs=3):
+    """A small linear regression problem with a known solution."""
+    true_weights = rng.normal(size=(n_outputs, n_inputs))
+    inputs = rng.normal(size=(n_samples, n_inputs))
+    targets = inputs @ true_weights.T
+    return inputs, targets, true_weights
+
+
+def run_optimizer(optimizer, inputs, targets, steps=300, seed=0):
+    net = Sequential([Dense(inputs.shape[1], targets.shape[1], random_state=seed)])
+    loss = MeanSquaredError()
+    for _ in range(steps):
+        outputs = net.forward(inputs, training=True)
+        net.backward(loss.gradient(outputs, targets))
+        optimizer.step(net)
+        net.zero_gradients()
+    return loss.value(net.forward(inputs), targets)
+
+
+class TestConvergence:
+    @pytest.mark.parametrize(
+        "optimizer",
+        [SGD(learning_rate=0.05), Momentum(learning_rate=0.02), Adam(learning_rate=0.05)],
+        ids=["sgd", "momentum", "adam"],
+    )
+    def test_reduces_loss_on_linear_regression(self, optimizer, rng):
+        inputs, targets, _ = make_problem(rng)
+        final_loss = run_optimizer(optimizer, inputs, targets)
+        assert final_loss < 1e-2
+
+    def test_sgd_single_step_direction(self, rng):
+        """One SGD step must move weights opposite to the gradient."""
+        net = Sequential([Dense(4, 2, random_state=0)])
+        inputs = rng.normal(size=(8, 4))
+        targets = rng.normal(size=(8, 2))
+        loss = MeanSquaredError()
+        outputs = net.forward(inputs, training=True)
+        net.backward(loss.gradient(outputs, targets))
+        before = net.layers[0].weights.copy()
+        gradient = net.layers[0].grad_weights.copy()
+        SGD(learning_rate=0.1).step(net)
+        np.testing.assert_allclose(net.layers[0].weights, before - 0.1 * gradient)
+
+    def test_weight_decay_shrinks_weights(self, rng):
+        net = Sequential([Dense(4, 2, random_state=0)])
+        inputs = np.zeros((4, 4))
+        targets = np.zeros((4, 2))
+        loss = MeanSquaredError()
+        before_norm = np.abs(net.layers[0].weights).sum()
+        optimizer = SGD(learning_rate=0.1, weight_decay=0.5)
+        for _ in range(10):
+            outputs = net.forward(inputs, training=True)
+            net.backward(loss.gradient(outputs, targets))
+            optimizer.step(net)
+        assert np.abs(net.layers[0].weights).sum() < before_norm
+
+
+class TestValidationAndState:
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            Momentum(momentum=1.0)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(beta2=-0.1)
+
+    def test_step_without_gradients_raises(self):
+        net = Sequential([Dense(4, 2, random_state=0)])
+        with pytest.raises(RuntimeError):
+            SGD().step(net)
+
+    def test_reset_clears_momentum(self, rng):
+        net = Sequential([Dense(4, 2, random_state=0)])
+        inputs, targets = rng.normal(size=(4, 4)), rng.normal(size=(4, 2))
+        loss = MeanSquaredError()
+        optimizer = Momentum(learning_rate=0.01)
+        outputs = net.forward(inputs, training=True)
+        net.backward(loss.gradient(outputs, targets))
+        optimizer.step(net)
+        assert optimizer._velocity
+        optimizer.reset()
+        assert not optimizer._velocity
+
+    def test_adam_reset_clears_step_count(self):
+        optimizer = Adam()
+        optimizer._step_count = 5
+        optimizer.reset()
+        assert optimizer._step_count == 0
+
+    def test_bias_updated_when_present(self, rng):
+        net = Sequential([Dense(4, 2, use_bias=True, random_state=0)])
+        inputs, targets = rng.normal(size=(6, 4)), rng.normal(size=(6, 2))
+        loss = MeanSquaredError()
+        before = net.layers[0].bias.copy()
+        outputs = net.forward(inputs, training=True)
+        net.backward(loss.gradient(outputs, targets))
+        Adam(learning_rate=0.1).step(net)
+        assert not np.allclose(net.layers[0].bias, before)
+
+
+class TestRegistry:
+    def test_lookup_with_kwargs(self):
+        optimizer = get_optimizer("adam", learning_rate=0.123)
+        assert isinstance(optimizer, Adam)
+        assert optimizer.learning_rate == pytest.approx(0.123)
+
+    def test_passthrough(self):
+        optimizer = SGD()
+        assert get_optimizer(optimizer) is optimizer
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_optimizer("lion")

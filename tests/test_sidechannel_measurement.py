@@ -1,0 +1,83 @@
+"""Tests for repro.sidechannel.measurement."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.array import CrossbarArray
+from repro.sidechannel.measurement import PowerMeasurement, QueryBudgetExceeded
+
+
+class _StaticTarget:
+    """A fake crossbar whose total current is a fixed linear function."""
+
+    def __init__(self, column_sums):
+        self.column_sums = np.asarray(column_sums, dtype=float)
+
+    def total_current(self, inputs):
+        return np.atleast_2d(inputs) @ self.column_sums
+
+
+class TestMeasurement:
+    def test_noise_free_measurement_is_exact(self, rng):
+        target = _StaticTarget([1.0, 2.0, 3.0])
+        measurement = PowerMeasurement(target)
+        u = np.array([1.0, 1.0, 0.5])
+        assert measurement.measure(u) == pytest.approx(4.5)
+
+    def test_batch_measurement_shape(self, rng):
+        target = _StaticTarget([1.0, 2.0])
+        measurement = PowerMeasurement(target)
+        readings = measurement.measure(rng.uniform(size=(5, 2)))
+        assert readings.shape == (5,)
+
+    def test_noise_added(self, rng):
+        target = _StaticTarget([1.0, 1.0])
+        measurement = PowerMeasurement(target, noise_std=0.05, random_state=0)
+        readings = np.array([measurement.measure(np.ones(2)) for _ in range(200)])
+        assert readings.std() > 0
+        assert abs(readings.mean() - 2.0) < 0.05
+
+    def test_averaging_reduces_noise(self):
+        target = _StaticTarget([1.0, 1.0])
+        single = PowerMeasurement(target, noise_std=0.2, n_averages=1, random_state=0)
+        averaged = PowerMeasurement(target, noise_std=0.2, n_averages=25, random_state=0)
+        u = np.ones(2)
+        single_readings = np.array([single.measure(u) for _ in range(200)])
+        averaged_readings = np.array([averaged.measure(u) for _ in range(200)])
+        assert averaged_readings.std() < single_readings.std() / 3
+
+    def test_query_accounting(self, rng):
+        target = _StaticTarget([1.0, 1.0])
+        measurement = PowerMeasurement(target, n_averages=2)
+        measurement.measure(rng.uniform(size=(3, 2)))
+        assert measurement.queries_used == 6
+        measurement.reset_counter()
+        assert measurement.queries_used == 0
+
+    def test_query_budget_enforced(self, rng):
+        target = _StaticTarget([1.0, 1.0])
+        measurement = PowerMeasurement(target, query_budget=4)
+        measurement.measure(rng.uniform(size=(3, 2)))
+        assert measurement.queries_remaining == 1
+        with pytest.raises(QueryBudgetExceeded):
+            measurement.measure(rng.uniform(size=(2, 2)))
+
+    def test_unbounded_budget(self):
+        measurement = PowerMeasurement(_StaticTarget([1.0]))
+        assert measurement.queries_remaining is None
+
+    def test_invalid_parameters(self):
+        target = _StaticTarget([1.0])
+        with pytest.raises(ValueError):
+            PowerMeasurement(target, noise_std=-0.1)
+        with pytest.raises(ValueError):
+            PowerMeasurement(target, n_averages=0)
+        with pytest.raises(ValueError):
+            PowerMeasurement(target, query_budget=0)
+
+    def test_works_against_real_crossbar(self, rng):
+        weights = rng.normal(size=(4, 6))
+        array = CrossbarArray(weights, random_state=0)
+        measurement = PowerMeasurement(array, random_state=0)
+        u = rng.uniform(0, 1, size=6)
+        assert measurement.measure(u) == pytest.approx(array.total_current(u))

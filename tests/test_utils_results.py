@@ -1,0 +1,92 @@
+"""Tests for repro.utils.results."""
+
+import numpy as np
+import pytest
+
+from repro.utils.results import RunResult, SweepResult
+
+
+def make_run(name="run", accuracy=0.5, dataset="mnist-like"):
+    run = RunResult(name=name, metadata={"dataset": dataset})
+    run.add_metric("accuracy", accuracy)
+    run.add_array("curve", [1.0, 2.0, 3.0])
+    return run
+
+
+class TestRunResult:
+    def test_add_metric_coerces_float(self):
+        run = RunResult(name="r")
+        run.add_metric("acc", np.float64(0.25))
+        assert isinstance(run.metrics["acc"], float)
+
+    def test_add_array_coerces_ndarray(self):
+        run = RunResult(name="r")
+        run.add_array("x", [1, 2, 3])
+        assert isinstance(run.arrays["x"], np.ndarray)
+
+    def test_roundtrip_dict(self):
+        run = make_run()
+        restored = RunResult.from_dict(run.to_dict())
+        assert restored.name == run.name
+        assert restored.metrics == run.metrics
+        np.testing.assert_array_equal(restored.arrays["curve"], run.arrays["curve"])
+        assert restored.metadata == run.metadata
+
+    def test_to_dict_is_json_friendly(self):
+        import json
+
+        run = make_run()
+        json.dumps(run.to_dict())  # must not raise
+
+
+class TestSweepResult:
+    def test_add_and_len(self):
+        sweep = SweepResult(name="s")
+        sweep.add(make_run())
+        sweep.add(make_run(accuracy=0.7))
+        assert len(sweep) == 2
+
+    def test_metric_values_and_stats(self):
+        sweep = SweepResult(name="s")
+        for acc in (0.2, 0.4, 0.6):
+            sweep.add(make_run(accuracy=acc))
+        np.testing.assert_allclose(sweep.metric_values("accuracy"), [0.2, 0.4, 0.6])
+        assert sweep.mean_metric("accuracy") == pytest.approx(0.4)
+        assert sweep.std_metric("accuracy") == pytest.approx(np.std([0.2, 0.4, 0.6]))
+
+    def test_missing_metric_raises(self):
+        sweep = SweepResult(name="s")
+        sweep.add(make_run())
+        with pytest.raises(KeyError):
+            sweep.mean_metric("nonexistent")
+
+    def test_filter_by_metadata(self):
+        sweep = SweepResult(name="s")
+        sweep.add(make_run(dataset="mnist-like"))
+        sweep.add(make_run(dataset="cifar-like"))
+        filtered = sweep.filter(dataset="cifar-like")
+        assert len(filtered) == 1
+        assert filtered.runs[0].metadata["dataset"] == "cifar-like"
+
+    def test_group_by(self):
+        sweep = SweepResult(name="s")
+        sweep.add(make_run(dataset="a"))
+        sweep.add(make_run(dataset="a"))
+        sweep.add(make_run(dataset="b"))
+        groups = sweep.group_by("dataset")
+        assert set(groups) == {"a", "b"}
+        assert len(groups["a"]) == 2
+
+    def test_roundtrip_dict(self):
+        sweep = SweepResult(name="s", metadata={"scale": "smoke"})
+        sweep.add(make_run())
+        restored = SweepResult.from_dict(sweep.to_dict())
+        assert restored.name == "s"
+        assert restored.metadata == {"scale": "smoke"}
+        assert len(restored) == 1
+
+    def test_iteration(self):
+        sweep = SweepResult(name="s")
+        sweep.add(make_run(name="a"))
+        sweep.add(make_run(name="b"))
+        assert [run.name for run in sweep] == ["a", "b"]

@@ -1,0 +1,43 @@
+"""Tests for repro.utils.serialization."""
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import load_json, load_npz, save_json, save_npz
+
+
+class TestJson:
+    def test_roundtrip_plain(self, tmp_path):
+        payload = {"a": 1, "b": [1, 2, 3], "c": {"nested": True}}
+        path = save_json(payload, tmp_path / "out.json")
+        assert load_json(path) == payload
+
+    def test_numpy_values_serialised(self, tmp_path):
+        payload = {"scalar": np.float64(1.5), "array": np.arange(3), "flag": np.bool_(True)}
+        path = save_json(payload, tmp_path / "out.json")
+        loaded = load_json(path)
+        assert loaded["scalar"] == 1.5
+        assert loaded["array"] == [0, 1, 2]
+        assert loaded["flag"] is True
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = save_json({"x": 1}, tmp_path / "deep" / "dir" / "out.json")
+        assert path.exists()
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path):
+        arrays = {"weights": np.random.default_rng(0).normal(size=(4, 5)), "bias": np.zeros(4)}
+        path = save_npz(arrays, tmp_path / "model.npz")
+        loaded = load_npz(path)
+        assert set(loaded) == {"weights", "bias"}
+        np.testing.assert_allclose(loaded["weights"], arrays["weights"])
+
+    def test_lists_are_coerced(self, tmp_path):
+        path = save_npz({"values": [1.0, 2.0]}, tmp_path / "a.npz")
+        loaded = load_npz(path)
+        np.testing.assert_allclose(loaded["values"], [1.0, 2.0])
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_npz(tmp_path / "missing.npz")
