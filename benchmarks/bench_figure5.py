@@ -4,10 +4,26 @@ The MNIST rows (ROW 1 and ROW 2) are run at the full ``bench`` scale; the
 CIFAR rows (ROW 3 and ROW 4) use a reduced query sweep because each surrogate
 has 3072 inputs and the paper's finding there is a null result (little or no
 benefit from power information).
+
+Ported to the batched engine: every oracle interaction is one batched
+``Oracle.query`` per query set (single fused traversal for power-exposed
+hardware targets), and the independent seeds of each row execute on a
+:class:`~repro.experiments.runner.ParallelRunner` process pool.  Wall times
+are recorded into ``BENCH_engine.json`` for before/after comparison.
 """
+
+import sys
+import time
+from pathlib import Path
 
 from repro.experiments.config import resolve_scale
 from repro.experiments.figure5 import format_figure5, run_figure5
+from repro.experiments.runner import ParallelRunner
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import bench_engine
+
+RUNNER = ParallelRunner(mode="process")
 
 
 def _record(benchmark, result):
@@ -21,10 +37,16 @@ def _record(benchmark, result):
 
 def test_figure5_mnist_rows(single_round, benchmark):
     """Figure 5 rows 1-2: MNIST with label-only and raw-output oracles."""
+    start = time.perf_counter()
     result = single_round(
         run_figure5,
         "bench",
         rows=(("mnist-like", "label"), ("mnist-like", "raw")),
+        runner=RUNNER,
+    )
+    bench_engine.record_timings(
+        "bench_figure5_mnist",
+        {"elapsed_s": time.perf_counter() - start, "runner_mode": RUNNER.mode},
     )
     print()
     print(format_figure5(result))
@@ -55,10 +77,16 @@ def test_figure5_cifar_rows(single_round, benchmark):
         power_loss_weights=(0.0, 0.01),
         surrogate_epochs=200,
     )
+    start = time.perf_counter()
     result = single_round(
         run_figure5,
         scale,
         rows=(("cifar-like", "label"), ("cifar-like", "raw")),
+        runner=RUNNER,
+    )
+    bench_engine.record_timings(
+        "bench_figure5_cifar",
+        {"elapsed_s": time.perf_counter() - start, "runner_mode": RUNNER.mode},
     )
     print()
     print(format_figure5(result))

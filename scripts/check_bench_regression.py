@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Fail when the fused engine is slower than the legacy two-pass engine.
+
+Reads the ``engine`` section of ``BENCH_engine.json`` (written by
+``benchmarks/bench_engine.py`` or the ``@pytest.mark.engine`` smoke test) and
+exits non-zero if any recorded fused-vs-legacy speedup falls below the
+threshold::
+
+    python scripts/check_bench_regression.py [--path BENCH_engine.json]
+                                             [--min-speedup 1.0]
+                                             [--min-peak-speedup 2.0]
+
+``--min-speedup`` bounds every individual batch size; ``--min-peak-speedup``
+bounds the best batch size (the acceptance criterion for the fused engine is
+a >= 2x peak speedup on power-exposed queries against an ideal crossbar).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def check_results(
+    results: dict,
+    *,
+    min_speedup: float = 1.0,
+    min_peak_speedup: float = 2.0,
+) -> list[str]:
+    """Return a list of human-readable regression messages (empty = pass)."""
+    failures: list[str] = []
+    engine = results.get("engine")
+    if engine is None:
+        return ["no 'engine' section found — run benchmarks/bench_engine.py first"]
+
+    rows = engine.get("oracle_query", [])
+    if not rows:
+        failures.append("engine section has no oracle_query timings")
+    for row in rows:
+        if row["speedup"] < min_speedup:
+            failures.append(
+                f"oracle query batch={row['batch_size']}: fused path is slower "
+                f"than legacy (speedup {row['speedup']:.2f} < {min_speedup:.2f})"
+            )
+    if rows:
+        peak = max(row["speedup"] for row in rows)
+        if peak < min_peak_speedup:
+            failures.append(
+                f"peak fused speedup {peak:.2f} is below the required "
+                f"{min_peak_speedup:.2f}x"
+            )
+
+    probing = engine.get("probing")
+    if probing is not None and probing["speedup"] < min_speedup:
+        failures.append(
+            f"batched probing is slower than the per-column reference mode "
+            f"(speedup {probing['speedup']:.2f} < {min_speedup:.2f})"
+        )
+
+    ops = engine.get("array_ops_per_power_query_batch")
+    if ops is not None and ops != 1:
+        failures.append(
+            f"power-exposed oracle query performed {ops} array traversals "
+            "per batch (expected exactly 1)"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--path", type=Path, default=DEFAULT_PATH)
+    parser.add_argument("--min-speedup", type=float, default=1.0)
+    parser.add_argument("--min-peak-speedup", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    if not args.path.exists():
+        print(f"error: {args.path} does not exist — run the engine benchmark first")
+        return 2
+    results = json.loads(args.path.read_text())
+    failures = check_results(
+        results,
+        min_speedup=args.min_speedup,
+        min_peak_speedup=args.min_peak_speedup,
+    )
+    if failures:
+        print("bench regression check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("bench regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

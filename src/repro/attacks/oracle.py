@@ -10,6 +10,20 @@ accelerator with inputs of their choice and observe some combination of:
 :class:`Oracle` wraps either a software network or a
 :class:`~repro.crossbar.accelerator.CrossbarAccelerator` and exposes exactly
 those observation channels, while counting queries.
+
+Queries run on the accelerator's fused single-pass engine: when the target is
+a :class:`~repro.crossbar.accelerator.CrossbarAccelerator` and power is
+exposed, :meth:`Oracle.query` calls
+:meth:`~repro.crossbar.accelerator.CrossbarAccelerator.forward_with_power`
+once per batch, so the observed outputs and the power trace come from the
+*same* conductance realization and the hardware is traversed exactly once —
+the legacy engine ran two independent passes (one for outputs, one for
+power), which both doubled the cost of every power-exposed query and made
+the two channels physically inconsistent under read noise.  Software
+(:class:`~repro.nn.network.Sequential`) targets keep the analytic
+ideal-crossbar power model.  All observation channels are batched: a single
+:meth:`Oracle.query` call with ``(Q, N)`` inputs performs one traversal for
+the whole batch.
 """
 
 from __future__ import annotations
@@ -104,10 +118,7 @@ class Oracle:
         self._rng = as_rng(random_state)
         self._queries_used = 0
 
-        if isinstance(target, CrossbarAccelerator):
-            self._n_outputs = target.n_outputs
-        else:
-            self._n_outputs = target.n_outputs
+        self._n_outputs = target.n_outputs
 
     # ----------------------------------------------------------- accounting
 
@@ -132,13 +143,7 @@ class Oracle:
             return np.atleast_2d(self.target.forward(inputs))
         return np.atleast_2d(self.target.predict(inputs))
 
-    def _power(self, inputs: np.ndarray) -> np.ndarray:
-        if isinstance(self.target, CrossbarAccelerator):
-            power = np.atleast_1d(self.target.total_current(inputs))
-        else:
-            # Ideal-crossbar analytic value: i_total = Σ_j u_j Σ_i |w_ij|
-            column_norms = np.abs(self.target.layers[0].weights).sum(axis=0)
-            power = np.atleast_2d(inputs) @ column_norms
+    def _apply_power_noise(self, power: np.ndarray) -> np.ndarray:
         if self.power_noise_std > 0:
             scale = np.mean(np.abs(power)) if np.any(power) else 1.0
             power = power + self._rng.normal(
@@ -146,19 +151,37 @@ class Oracle:
             )
         return power
 
+    def _power(self, inputs: np.ndarray) -> np.ndarray:
+        if isinstance(self.target, CrossbarAccelerator):
+            power = np.atleast_1d(self.target.total_current(inputs))
+        else:
+            # Ideal-crossbar analytic value: i_total = Σ_j u_j Σ_i |w_ij|
+            column_norms = np.abs(self.target.layers[0].weights).sum(axis=0)
+            power = np.atleast_2d(inputs) @ column_norms
+        return self._apply_power_noise(power)
+
     def query(self, inputs: np.ndarray) -> OracleResponse:
-        """Query the oracle with a batch of inputs."""
+        """Query the oracle with a batch of inputs.
+
+        Hardware targets with power exposed take the fused path: outputs and
+        power are measured in one accelerator traversal per batch.
+        """
         inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
         self._queries_used += len(inputs)
 
-        raw_outputs = self._forward(inputs)
+        if self.expose_power and isinstance(self.target, CrossbarAccelerator):
+            raw_outputs, report = self.target.forward_with_power(inputs)
+            raw_outputs = np.atleast_2d(raw_outputs)
+            power = self._apply_power_noise(np.atleast_1d(report.total_current))
+        else:
+            raw_outputs = self._forward(inputs)
+            power = self._power(inputs) if self.expose_power else None
+
         labels = np.argmax(raw_outputs, axis=1)
         if self.output_mode == "raw":
             outputs = raw_outputs
         else:
             outputs = one_hot(labels, self._n_outputs)
-
-        power = self._power(inputs) if self.expose_power else None
         return OracleResponse(
             queries=inputs,
             outputs=outputs,

@@ -3,11 +3,23 @@
 The accelerator is the attack target ("oracle hardware") in the paper's
 experiments: it exposes exactly the interfaces an attacker might have —
 classification outputs, raw output vectors, and the power side channel.
+
+The compute spine is a fused single-pass engine.  :meth:`forward_with_power`
+streams a batch through every tile exactly once, collecting the layer
+activations *and* each tile's supply current from the same conductance
+realization (via :meth:`CrossbarTile.forward_with_power_batch`), so the
+functional outputs and the power trace an attacker observes are physically
+consistent and the accelerator is traversed once per batch instead of twice.
+:meth:`power_trace` and :meth:`total_current` are thin wrappers over that
+fused path; :meth:`forward` streams batches through the tiles in 2-D form
+without per-layer re-wrapping.  On deterministic (read-noise-free) arrays
+each tile additionally reuses its cached effective state, so repeated queries
+cost one matrix product per tile and nothing else.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -84,14 +96,27 @@ class CrossbarAccelerator:
         """Number of crossbar tiles (one per layer)."""
         return len(self.tiles)
 
+    @property
+    def n_array_operations(self) -> int:
+        """Summed analogue array traversals across all tiles."""
+        return sum(tile.n_array_operations for tile in self.tiles)
+
+    def reset_operation_counters(self) -> None:
+        """Reset the per-tile array operation counters."""
+        for tile in self.tiles:
+            tile.array.reset_counters()
+
     # -------------------------------------------------------------- compute
+
+    def _as_batch(self, inputs: np.ndarray) -> Tuple[np.ndarray, bool]:
+        inputs = np.asarray(inputs, dtype=float)
+        return np.atleast_2d(inputs), inputs.ndim == 1
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         """Run inputs through every tile in sequence."""
-        single = np.asarray(inputs).ndim == 1
-        activations = np.atleast_2d(np.asarray(inputs, dtype=float))
+        activations, single = self._as_batch(inputs)
         for tile in self.tiles:
-            activations = np.atleast_2d(tile.forward(activations))
+            activations = tile.forward_batch(activations)
         return activations[0] if single else activations
 
     def predict(self, inputs: np.ndarray) -> np.ndarray:
@@ -108,27 +133,60 @@ class CrossbarAccelerator:
 
     # ---------------------------------------------------------- power channel
 
+    def forward_with_power(
+        self, inputs: np.ndarray
+    ) -> Tuple[np.ndarray, PowerReport]:
+        """Fused forward pass + power measurement in a single traversal.
+
+        Each tile is visited exactly once; its activations and supply current
+        are derived from the same conductance realization, so the returned
+        outputs and :class:`~repro.crossbar.power.PowerReport` describe one
+        consistent physical inference.
+
+        Returns
+        -------
+        (outputs, report):
+            ``outputs`` follows the :meth:`forward` shape convention
+            (``(M,)`` for a 1-D input, ``(B, M)`` for a batch); ``report``
+            always covers the whole batch.
+        """
+        activations, single = self._as_batch(inputs)
+        per_tile_currents: List[np.ndarray] = []
+        for tile in self.tiles:
+            activations, currents = tile.forward_with_power_batch(activations)
+            per_tile_currents.append(currents)
+        total = np.sum(per_tile_currents, axis=0)
+        report = self.power_model.report(total, per_tile_currents)
+        return (activations[0] if single else activations), report
+
     def power_trace(self, inputs: np.ndarray) -> PowerReport:
         """Measure the power side channel for a batch of inputs.
 
         The report contains the per-tile and summed total currents that an
         attacker probing the supply rail would observe while the batch is
-        processed.
+        processed.  Implemented on the fused path: the tiles are traversed
+        once (not once for power and once for activations as in the legacy
+        two-pass engine).
         """
-        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
-        per_tile_currents = []
-        activations = inputs
-        for tile in self.tiles:
-            per_tile_currents.append(np.atleast_1d(tile.total_current(activations)))
-            activations = np.atleast_2d(tile.forward(activations))
-        total = np.sum(per_tile_currents, axis=0)
-        return self.power_model.report(total, per_tile_currents)
+        _, report = self.forward_with_power(inputs)
+        return report
 
     def total_current(self, inputs: np.ndarray) -> np.ndarray:
-        """Summed total current per input (convenience wrapper)."""
+        """Summed total current per input (convenience wrapper).
+
+        Returns
+        -------
+        float or np.ndarray
+            A ``float`` for a single ``(N,)`` input; a ``(B,)`` array for a
+            ``(B, N)`` batch (including ``B == 1``).  The value is the sum of
+            the per-tile currents for each sample, regardless of the number
+            of tiles.
+        """
         single = np.asarray(inputs).ndim == 1
         report = self.power_trace(inputs)
-        return float(report.total_current[0]) if single else report.total_current
+        if single:
+            return float(report.total_current[0])
+        return report.total_current
 
     def fidelity(self, inputs: np.ndarray) -> float:
         """Mean absolute difference between accelerator and software outputs.

@@ -3,11 +3,40 @@
 Implements the ideal behaviour of Eq. 3-5 of the paper plus the opt-in
 non-idealities configured through
 :class:`~repro.crossbar.nonidealities.NonidealityConfig`.
+
+Fused single-pass engine
+------------------------
+Every analogue operation starts from the array's *effective state* — the
+IR-drop-attenuated differential matrix ``(G+ - G-) * a`` and the attenuated
+column conductance sums ``Σ_i (G+ + G-) * a`` — realised from one conductance
+read.  Three properties of that state drive the engine:
+
+* **Fusion.**  :meth:`matvec_with_current` computes the output currents
+  (Eq. 3) *and* the total supply current (Eq. 5) from a *single* conductance
+  realization, so the functional outputs and the power side channel observed
+  by an attacker are physically consistent (one read, one noise draw) and the
+  array is traversed once instead of twice.
+* **Caching.**  When the device has no read noise the effective state is
+  deterministic, so it is computed lazily once and reused by every subsequent
+  :meth:`matvec` / :meth:`total_current` / :meth:`matvec_with_current` call.
+  The cache is invalidated whenever ``g_plus`` / ``g_minus`` are rebound (it
+  is keyed on the identity of both arrays); code that mutates the conductance
+  matrices *in place* must call :meth:`invalidate_state_cache` afterwards.
+  With read noise enabled the cache is bypassed and every operation draws a
+  fresh realization, exactly as before.
+* **Accounting.**  :attr:`n_operations` counts analogue array traversals and
+  :attr:`n_realizations` counts physical conductance reads (cache hits
+  realise nothing).  Tests and benchmarks use these to prove the fused path
+  traverses the array exactly once per batch.
+
+Measurement noise (``current_measurement_noise``) is applied *after* the
+cached dot product, so repeated total-current reads remain independently
+noisy even when the effective state is cached.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -18,18 +47,35 @@ from repro.utils.rng import RandomState, as_rng
 from repro.utils.validation import check_matrix
 
 
+class _EffectiveState(NamedTuple):
+    """One realised view of the array, shared by outputs and power.
+
+    ``g_plus`` / ``g_minus`` are the *programmed* arrays the state was built
+    from (identity-checked on cache lookup); ``effective`` and ``column_sums``
+    are the attenuated differential matrix and conductance sums actually used
+    by the analogue operations.
+    """
+
+    g_plus: np.ndarray
+    g_minus: np.ndarray
+    effective: np.ndarray
+    column_sums: np.ndarray
+
+
 class CrossbarArray:
     """A programmed NVM crossbar holding one weight matrix.
 
     The array is created by programming a weight matrix through a
     :class:`~repro.crossbar.mapping.ConductanceMapping`; afterwards it exposes
-    the two analogue operations the paper uses:
+    the analogue operations the paper uses:
 
     * :meth:`matvec` — the differential matrix-vector product
       ``i_s = (G+ - G-) v_u`` (Eq. 3).
     * :meth:`total_current` — the summed current through all devices
       ``i_total = Σ_j v_j Σ_i (G+_ij + G-_ij)`` (Eq. 5), i.e. the power side
       channel.
+    * :meth:`matvec_with_current` — both of the above fused into one pass
+      over a single conductance realization (see the module docstring).
 
     Parameters
     ----------
@@ -59,6 +105,9 @@ class CrossbarArray:
         )
         self._rng = as_rng(random_state)
         self._reference_weights = weights.copy()
+        self._state_cache: Optional[_EffectiveState] = None
+        self._n_operations = 0
+        self._n_realizations = 0
 
         self.g_plus, self.g_minus = self.mapping.map(weights, random_state=self._rng)
         self._apply_static_nonidealities()
@@ -95,6 +144,23 @@ class CrossbarArray:
         """``G_j`` for every column — the quantity leaked by the power channel."""
         return self.mapping.column_conductance_sums(self.g_plus, self.g_minus)
 
+    # ------------------------------------------------------------ accounting
+
+    @property
+    def n_operations(self) -> int:
+        """Analogue array traversals performed (fused ops count once)."""
+        return self._n_operations
+
+    @property
+    def n_realizations(self) -> int:
+        """Physical conductance reads realised (cache hits realise none)."""
+        return self._n_realizations
+
+    def reset_counters(self) -> None:
+        """Reset the operation/realization counters."""
+        self._n_operations = 0
+        self._n_realizations = 0
+
     # -------------------------------------------------- static non-idealities
 
     def _apply_static_nonidealities(self) -> None:
@@ -116,8 +182,17 @@ class CrossbarArray:
             factor = 1.0 + config.temperature_drift
             self.g_plus = np.clip(self.g_plus * factor, 0.0, self.device.g_max)
             self.g_minus = np.clip(self.g_minus * factor, 0.0, self.device.g_max)
+        self.invalidate_state_cache()
 
     # ------------------------------------------------------------- dynamics
+
+    def invalidate_state_cache(self) -> None:
+        """Drop the cached effective state.
+
+        Required after mutating ``g_plus`` / ``g_minus`` *in place*; rebinding
+        either attribute to a new array is detected automatically.
+        """
+        self._state_cache = None
 
     def _read_conductances(self) -> tuple[np.ndarray, np.ndarray]:
         """Conductances as seen by one read operation (read noise applied)."""
@@ -139,6 +214,50 @@ class CrossbarArray:
         positions = np.arange(1, self.n_columns + 1)
         return 1.0 / (1.0 + resistance * column_g * positions)
 
+    def _realize_state(self) -> _EffectiveState:
+        """One physical conductance read, shared by outputs and power.
+
+        When the device is read-noise free the realised state is cached and
+        reused until ``g_plus`` / ``g_minus`` change; otherwise each call
+        draws a fresh realization.
+        """
+        deterministic = self.device.read_noise == 0
+        if deterministic:
+            cache = self._state_cache
+            if (
+                cache is not None
+                and cache.g_plus is self.g_plus
+                and cache.g_minus is self.g_minus
+            ):
+                return cache
+        g_plus, g_minus = self._read_conductances()
+        attenuation = self._ir_drop_attenuation(g_plus, g_minus)
+        effective = (g_plus - g_minus) * attenuation[np.newaxis, :]
+        column_sums = ((g_plus + g_minus) * attenuation[np.newaxis, :]).sum(axis=0)
+        state = _EffectiveState(self.g_plus, self.g_minus, effective, column_sums)
+        self._n_realizations += 1
+        if deterministic:
+            self._state_cache = state
+        return state
+
+    def _validate_batch(self, voltages: np.ndarray) -> Tuple[np.ndarray, bool]:
+        voltages = np.asarray(voltages, dtype=float)
+        single = voltages.ndim == 1
+        batch = np.atleast_2d(voltages)
+        if batch.shape[1] != self.n_columns:
+            raise ValueError(
+                f"expected {self.n_columns} input voltages, got {batch.shape[1]}"
+            )
+        return batch, single
+
+    def _apply_measurement_noise(self, currents: np.ndarray) -> np.ndarray:
+        noise = self.nonidealities.current_measurement_noise
+        if noise > 0:
+            currents = currents * (
+                1.0 + self._rng.normal(0.0, noise, size=currents.shape)
+            )
+        return currents
+
     def matvec(self, voltages: np.ndarray) -> np.ndarray:
         """Differential crossbar output currents for a batch of input voltages.
 
@@ -152,17 +271,10 @@ class CrossbarArray:
         np.ndarray
             Output currents ``(M,)`` or ``(B, M)``.
         """
-        voltages = np.asarray(voltages, dtype=float)
-        single = voltages.ndim == 1
-        batch = np.atleast_2d(voltages)
-        if batch.shape[1] != self.n_columns:
-            raise ValueError(
-                f"expected {self.n_columns} input voltages, got {batch.shape[1]}"
-            )
-        g_plus, g_minus = self._read_conductances()
-        attenuation = self._ir_drop_attenuation(g_plus, g_minus)
-        effective = (g_plus - g_minus) * attenuation[np.newaxis, :]
-        currents = batch @ effective.T
+        batch, single = self._validate_batch(voltages)
+        state = self._realize_state()
+        self._n_operations += 1
+        currents = batch @ state.effective.T
         return currents[0] if single else currents
 
     def total_current(self, voltages: np.ndarray) -> np.ndarray:
@@ -172,23 +284,36 @@ class CrossbarArray:
         with ``G_j`` the per-column conductance sum, plus optional measurement
         noise.
         """
-        voltages = np.asarray(voltages, dtype=float)
-        single = voltages.ndim == 1
-        batch = np.atleast_2d(voltages)
-        if batch.shape[1] != self.n_columns:
-            raise ValueError(
-                f"expected {self.n_columns} input voltages, got {batch.shape[1]}"
-            )
-        g_plus, g_minus = self._read_conductances()
-        attenuation = self._ir_drop_attenuation(g_plus, g_minus)
-        column_sums = ((g_plus + g_minus) * attenuation[np.newaxis, :]).sum(axis=0)
-        currents = batch @ column_sums
-        noise = self.nonidealities.current_measurement_noise
-        if noise > 0:
-            currents = currents * (
-                1.0 + self._rng.normal(0.0, noise, size=currents.shape)
-            )
+        batch, single = self._validate_batch(voltages)
+        state = self._realize_state()
+        self._n_operations += 1
+        currents = self._apply_measurement_noise(batch @ state.column_sums)
         return float(currents[0]) if single else currents
+
+    def matvec_with_current(
+        self, voltages: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fused MVM + total current from a *single* conductance realization.
+
+        Equivalent to calling :meth:`matvec` and :meth:`total_current` on the
+        same inputs, except that both observables are derived from one read —
+        one array traversal, and (with read noise enabled) one shared noise
+        draw, so the outputs and the power channel are physically consistent.
+
+        Returns
+        -------
+        (output_currents, total_currents):
+            ``(M,)`` and ``float`` for a single vector, ``(B, M)`` and
+            ``(B,)`` for a batch.
+        """
+        batch, single = self._validate_batch(voltages)
+        state = self._realize_state()
+        self._n_operations += 1
+        outputs = batch @ state.effective.T
+        totals = self._apply_measurement_noise(batch @ state.column_sums)
+        if single:
+            return outputs[0], float(totals[0])
+        return outputs, totals
 
     def static_power(self, voltages: np.ndarray, *, supply_voltage: float = 1.0) -> np.ndarray:
         """Dissipated power ``Σ_j v_j^2 G_j`` (or ``Vdd * i_total`` when driven at Vdd)."""

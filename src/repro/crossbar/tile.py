@@ -4,11 +4,19 @@ The tile owns a :class:`~repro.crossbar.array.CrossbarArray` programmed with
 the layer's weights, an input DAC, an output ADC, and applies the layer's
 activation function digitally after conversion, exactly mirroring Figure 2 of
 the paper (``v_y = f(i_s) = f(G v_u)``).
+
+Batches stream through the tile in 2-D form end to end: the internal
+``*_batch`` helpers assume ``(B, n_inputs)`` arrays and never re-wrap their
+operands, while the public methods only handle the single-vector/batch shape
+convention at the boundary.  :meth:`forward_with_power` is the tile-level
+fused path — one :meth:`CrossbarArray.matvec_with_current` call yields the
+layer outputs and the tile's supply current from the same conductance
+realization.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -92,6 +100,11 @@ class CrossbarTile:
             return sums[:-1]
         return sums
 
+    @property
+    def n_array_operations(self) -> int:
+        """Analogue traversals of the underlying array (fused ops count once)."""
+        return self.array.n_operations
+
     # -------------------------------------------------------------- compute
 
     def _line_voltages(self, inputs: np.ndarray) -> np.ndarray:
@@ -107,25 +120,61 @@ class CrossbarTile:
             voltages = np.concatenate([voltages, ones], axis=1)
         return voltages
 
+    def _to_logical(self, currents: np.ndarray) -> np.ndarray:
+        """ADC conversion + current-to-logical rescaling."""
+        if self.adc is not None:
+            currents = self.adc.convert(currents)
+        return currents * self._current_to_logical
+
+    def pre_activation_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Analogue MVM for a ``(B, n_inputs)`` batch; always returns 2-D."""
+        return self._to_logical(self.array.matvec(self._line_voltages(batch)))
+
     def pre_activation(self, inputs: np.ndarray) -> np.ndarray:
         """Analogue MVM result converted back to the logical weight domain."""
         single = np.asarray(inputs).ndim == 1
-        voltages = self._line_voltages(inputs)
-        currents = self.array.matvec(voltages)
-        if self.adc is not None:
-            currents = self.adc.convert(currents)
-        logical = currents * self._current_to_logical
+        logical = self.pre_activation_batch(inputs)
         return logical[0] if single else logical
+
+    def forward_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Layer output for a ``(B, n_inputs)`` batch; always returns 2-D."""
+        return self.activation.forward(self.pre_activation_batch(batch))
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         """Layer output ``f(W u)`` computed through the crossbar."""
         single = np.asarray(inputs).ndim == 1
-        pre = np.atleast_2d(self.pre_activation(inputs))
-        out = self.activation.forward(pre)
+        out = self.forward_batch(inputs)
         return out[0] if single else out
 
     def __call__(self, inputs: np.ndarray) -> np.ndarray:
         return self.forward(inputs)
+
+    def forward_with_power_batch(
+        self, batch: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fused layer output + supply current for a ``(B, n_inputs)`` batch.
+
+        One array traversal produces both observables; returns
+        ``(outputs (B, n_outputs), total_currents (B,))``.
+        """
+        voltages = self._line_voltages(batch)
+        currents, totals = self.array.matvec_with_current(voltages)
+        outputs = self.activation.forward(self._to_logical(currents))
+        return outputs, np.atleast_1d(totals)
+
+    def forward_with_power(self, inputs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Fused :meth:`forward` + :meth:`total_current` in a single pass.
+
+        Returns ``(output, total_current)`` with the same shape conventions as
+        the separate methods: ``((n_outputs,), float)`` for a 1-D input,
+        ``((B, n_outputs), (B,))`` for a batch.  Both observables come from
+        the same conductance realization.
+        """
+        single = np.asarray(inputs).ndim == 1
+        outputs, totals = self.forward_with_power_batch(inputs)
+        if single:
+            return outputs[0], float(totals[0])
+        return outputs, totals
 
     def total_current(self, inputs: np.ndarray) -> np.ndarray:
         """The tile's power side channel for each input (Eq. 5)."""

@@ -14,7 +14,13 @@ from repro.experiments.config import (
     SCALES,
     resolve_scale,
 )
-from repro.experiments.runner import prepare_model, prepare_dataset, TrainedModel
+from repro.experiments.runner import (
+    ParallelRunner,
+    prepare_model,
+    prepare_dataset,
+    run_multi_seed,
+    TrainedModel,
+)
 from repro.experiments.table1 import run_table1, format_table1, Table1Result
 from repro.experiments.figure3 import run_figure3, format_figure3, Figure3Result
 from repro.experiments.figure4 import run_figure4, format_figure4, Figure4Result
@@ -27,8 +33,10 @@ __all__ = [
     "ExperimentScale",
     "SCALES",
     "resolve_scale",
+    "ParallelRunner",
     "prepare_model",
     "prepare_dataset",
+    "run_multi_seed",
     "TrainedModel",
     "run_table1",
     "format_table1",

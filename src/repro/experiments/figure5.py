@@ -28,7 +28,7 @@ from repro.attacks.oracle import Oracle
 from repro.attacks.surrogate import SurrogateAttack, SurrogateConfig
 from repro.experiments.config import ExperimentScale, resolve_scale
 from repro.experiments.reporting import format_series
-from repro.experiments.runner import prepare_dataset, prepare_model
+from repro.experiments.runner import ParallelRunner, prepare_dataset, prepare_model
 from repro.utils.rng import seeds_for_runs
 
 #: Figure 5 row labels keyed by (dataset, output_mode).
@@ -117,6 +117,51 @@ class Figure5Result:
         return self.rows[(dataset, output_mode)]
 
 
+def _run_row_seed(
+    dataset_name: str,
+    output_mode: str,
+    scale: ExperimentScale,
+    seed: int,
+    attack_strength: float,
+) -> Tuple[float, Dict[Tuple[float, int], Tuple[float, float]]]:
+    """One independent seed of a Figure 5 row (self-contained, picklable).
+
+    Returns the victim's clean test accuracy and a mapping
+    ``(lambda, query_index) -> (surrogate_accuracy, adversarial_accuracy)``.
+    Every stochastic component is seeded from ``seed`` alone, so the result
+    is identical whether the seeds run serially or on a worker pool.
+    """
+    query_counts = tuple(int(q) for q in scale.query_counts)
+    lambdas = tuple(float(l) for l in scale.power_loss_weights)
+    dataset = prepare_dataset(dataset_name, scale, random_state=seed)
+    # The oracles are the linear-output single-layer networks (Section IV
+    # uses only the linear activation for the surrogate output loss).
+    victim = prepare_model(dataset, "linear", scale, random_state=seed)
+    cells: Dict[Tuple[float, int], Tuple[float, float]] = {}
+    for lam in lambdas:
+        config = SurrogateConfig(power_loss_weight=lam, epochs=scale.surrogate_epochs)
+        for query_index, n_queries in enumerate(query_counts):
+            oracle = Oracle(
+                victim.network,
+                output_mode=output_mode,
+                expose_power=lam > 0,
+                random_state=seed,
+            )
+            attack = SurrogateAttack(
+                oracle,
+                config=config,
+                attack_strength=attack_strength,
+                random_state=seed + 7919 * (query_index + 1),
+            )
+            query_inputs = dataset.query_pool(n_queries, random_state=seed + query_index)
+            outcome = attack.run(query_inputs, dataset.test_inputs, dataset.test_targets)
+            cells[(lam, query_index)] = (
+                outcome.surrogate_test_accuracy,
+                outcome.oracle_adversarial_accuracy,
+            )
+    return victim.test_accuracy, cells
+
+
 def _run_row(
     dataset_name: str,
     output_mode: str,
@@ -124,6 +169,7 @@ def _run_row(
     *,
     base_seed: int,
     attack_strength: float,
+    runner: Optional["ParallelRunner"] = None,
 ) -> Figure5Row:
     """Run the full query-count × λ sweep for one Figure 5 row."""
     query_counts = tuple(int(q) for q in scale.query_counts)
@@ -137,40 +183,21 @@ def _run_row(
         adversarial_accuracy={lam: [[] for _ in query_counts] for lam in lambdas},
     )
     seeds = seeds_for_runs(base_seed, scale.n_runs)
+    args = [
+        (dataset_name, output_mode, scale, seed, attack_strength) for seed in seeds
+    ]
+    if runner is None:
+        seed_results = [_run_row_seed(*a) for a in args]
+    else:
+        seed_results = runner.map(_run_row_seed, args)
     clean_accuracies = []
-    for seed in seeds:
-        dataset = prepare_dataset(dataset_name, scale, random_state=seed)
-        # The oracles are the linear-output single-layer networks (Section IV
-        # uses only the linear activation for the surrogate output loss).
-        victim = prepare_model(dataset, "linear", scale, random_state=seed)
-        clean_accuracies.append(victim.test_accuracy)
+    for clean_accuracy, cells in seed_results:
+        clean_accuracies.append(clean_accuracy)
         for lam in lambdas:
-            config = SurrogateConfig(
-                power_loss_weight=lam, epochs=scale.surrogate_epochs
-            )
-            for query_index, n_queries in enumerate(query_counts):
-                oracle = Oracle(
-                    victim.network,
-                    output_mode=output_mode,
-                    expose_power=lam > 0,
-                    random_state=seed,
-                )
-                attack = SurrogateAttack(
-                    oracle,
-                    config=config,
-                    attack_strength=attack_strength,
-                    random_state=seed + 7919 * (query_index + 1),
-                )
-                query_inputs = dataset.query_pool(n_queries, random_state=seed + query_index)
-                outcome = attack.run(
-                    query_inputs, dataset.test_inputs, dataset.test_targets
-                )
-                row.surrogate_accuracy[lam][query_index].append(
-                    outcome.surrogate_test_accuracy
-                )
-                row.adversarial_accuracy[lam][query_index].append(
-                    outcome.oracle_adversarial_accuracy
-                )
+            for query_index in range(len(query_counts)):
+                surrogate, adversarial = cells[(lam, query_index)]
+                row.surrogate_accuracy[lam][query_index].append(surrogate)
+                row.adversarial_accuracy[lam][query_index].append(adversarial)
     row.oracle_clean_accuracy = float(np.mean(clean_accuracies))
     return row
 
@@ -181,6 +208,7 @@ def run_figure5(
     rows: Optional[Sequence[Tuple[str, str]]] = None,
     base_seed: int = 0,
     attack_strength: float = 0.1,
+    runner: Optional["ParallelRunner"] = None,
 ) -> Figure5Result:
     """Reproduce Figure 5.
 
@@ -192,6 +220,10 @@ def run_figure5(
         Which (dataset, output_mode) rows to run; defaults to all four.
     attack_strength:
         FGSM ε applied to the oracle (0.1 in the paper).
+    runner:
+        Optional :class:`~repro.experiments.runner.ParallelRunner`; the
+        independent seeds of each row are then executed on its worker pool
+        (bit-identical results, wall-clock scales with cores).
     """
     scale = resolve_scale(scale)
     if rows is None:
@@ -204,6 +236,7 @@ def run_figure5(
             scale,
             base_seed=base_seed,
             attack_strength=attack_strength,
+            runner=runner,
         )
     return result
 

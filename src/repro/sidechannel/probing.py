@@ -5,6 +5,18 @@ inputs leads to ``G_1 = i_total / Vdd``".  Repeating for every input recovers
 all column conductance sums, which under the min-power mapping are affine in
 the column 1-norms of the weight matrix.  The prober also measures the
 all-zero input to remove the affine offset contributed by ``g_min`` devices.
+
+The prober is fully batched: all basis vectors of one
+:meth:`ColumnNormProber.probe_indices` call — *including* the optional
+all-zero baseline probe, which previously went out as a separate
+:meth:`~repro.sidechannel.measurement.PowerMeasurement.measure` call — are
+submitted as a single batched query, so the target hardware realises its
+conductance state once per probe round.  ``batched=False`` selects a
+per-column reference mode (one query per probe vector plus a separate
+baseline query), modelling an attacker whose instrument can only issue
+scalar queries; it exists for equivalence testing and for quantifying what
+batching buys.  Both modes charge the same number of queries against the
+budget.
 """
 
 from __future__ import annotations
@@ -80,6 +92,11 @@ class ColumnNormProber:
         Whether to spend one extra query on the all-zero input so the
         ``g_min`` offset can be subtracted.  For the ideal device the baseline
         is zero and this is unnecessary.
+    batched:
+        ``True`` (default) submits every probe vector of a round — plus the
+        baseline — as one batched query; ``False`` uses a per-column
+        reference loop (one scalar query per probe vector).  Both cost the
+        same query budget.
     """
 
     def __init__(
@@ -89,11 +106,13 @@ class ColumnNormProber:
         *,
         drive_voltage: float = 1.0,
         measure_baseline: bool = False,
+        batched: bool = True,
     ):
         self.measurement = measurement
         self.n_inputs = check_positive_int(n_inputs, "n_inputs")
         self.drive_voltage = check_positive(drive_voltage, "drive_voltage")
         self.measure_baseline = bool(measure_baseline)
+        self.batched = bool(batched)
 
     # ------------------------------------------------------------------ api
 
@@ -102,6 +121,32 @@ class ColumnNormProber:
             return 0.0
         zero = np.zeros(self.n_inputs)
         return float(self.measurement.measure(zero))
+
+    def _basis_vectors(self, indices: np.ndarray) -> np.ndarray:
+        probes = np.zeros((len(indices), self.n_inputs), dtype=float)
+        probes[np.arange(len(indices)), indices] = self.drive_voltage
+        return probes
+
+    def _measure_batched(self, indices: np.ndarray) -> tuple[np.ndarray, float]:
+        """All probes (and the baseline) as one batched power query."""
+        probes = self._basis_vectors(indices)
+        if self.measure_baseline:
+            probes = np.concatenate(
+                [np.zeros((1, self.n_inputs), dtype=float), probes], axis=0
+            )
+        currents = np.atleast_1d(self.measurement.measure(probes))
+        if self.measure_baseline:
+            return currents[1:], float(currents[0])
+        return currents, 0.0
+
+    def _measure_looped(self, indices: np.ndarray) -> tuple[np.ndarray, float]:
+        """Reference path: one query per probed column, separate baseline query."""
+        baseline = self._baseline()
+        probes = self._basis_vectors(indices)
+        currents = np.array(
+            [float(self.measurement.measure(probe)) for probe in probes]
+        )
+        return currents, baseline
 
     def probe_indices(self, indices: Sequence[int]) -> ProbeResult:
         """Probe a subset of input columns; one query per column."""
@@ -114,10 +159,10 @@ class ColumnNormProber:
                 f"[{indices.min()}, {indices.max()}]"
             )
         queries_before = self.measurement.queries_used
-        baseline = self._baseline()
-        probes = np.zeros((len(indices), self.n_inputs), dtype=float)
-        probes[np.arange(len(indices)), indices] = self.drive_voltage
-        currents = np.atleast_1d(self.measurement.measure(probes))
+        if self.batched:
+            currents, baseline = self._measure_batched(indices)
+        else:
+            currents, baseline = self._measure_looped(indices)
         column_sums = (currents - baseline) / self.drive_voltage
         return ProbeResult(
             indices=indices,

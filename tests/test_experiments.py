@@ -15,7 +15,12 @@ from repro.experiments.figure3 import format_figure3, run_figure3
 from repro.experiments.figure4 import STRATEGIES, format_figure4, run_figure4
 from repro.experiments.figure5 import format_figure5, run_figure5
 from repro.experiments.reporting import format_mapping, format_series, format_table
-from repro.experiments.runner import prepare_dataset, prepare_model, run_multi_seed
+from repro.experiments.runner import (
+    ParallelRunner,
+    prepare_dataset,
+    prepare_model,
+    run_multi_seed,
+)
 from repro.experiments.table1 import PAPER_TABLE1, format_table1, run_table1
 from repro.utils.results import RunResult
 
@@ -102,6 +107,50 @@ class TestRunner:
         b = run_multi_seed("sweep", run_fn, n_runs=3, base_seed=5)
         np.testing.assert_allclose(a.metric_values("seed_value"), b.metric_values("seed_value"))
         assert len(a) == 3
+
+
+def _seed_metric_run(run_index, seed):
+    """Module-level run_fn so ParallelRunner's process mode can pickle it."""
+    result = RunResult(name=f"run{run_index}")
+    result.add_metric("seed_value", float(seed % 1000))
+    return result
+
+
+class TestParallelRunner:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(mode="gpu")
+
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_parallel_matches_serial(self, mode):
+        serial = run_multi_seed("sweep", _seed_metric_run, n_runs=4, base_seed=5)
+        runner = ParallelRunner(mode=mode, max_workers=2)
+        parallel = runner.run_multi_seed("sweep", _seed_metric_run, n_runs=4, base_seed=5)
+        np.testing.assert_allclose(
+            parallel.metric_values("seed_value"), serial.metric_values("seed_value")
+        )
+        assert len(parallel) == 4
+        for run_index, result in enumerate(parallel.runs):
+            assert result.metadata["run_index"] == run_index
+            assert result.metadata["seed"] == serial.runs[run_index].metadata["seed"]
+
+    def test_process_mode_falls_back_for_closures(self):
+        captured = []
+
+        def run_fn(run_index, seed):  # closure over local state: unpicklable
+            captured.append(run_index)
+            return _seed_metric_run(run_index, seed)
+
+        runner = ParallelRunner(mode="process")
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            sweep = runner.run_multi_seed("sweep", run_fn, n_runs=3, base_seed=1)
+        assert captured == [0, 1, 2]
+        assert len(sweep) == 3
+
+    def test_map_preserves_order(self):
+        runner = ParallelRunner(mode="thread", max_workers=4)
+        values = runner.map(pow, [(2, i) for i in range(8)])
+        assert values == [2**i for i in range(8)]
 
 
 @pytest.fixture(scope="module")

@@ -101,6 +101,44 @@ class TestProbeSubsets:
         assert result.ranking()[0] == result.argmax()
 
 
+class TestBatchedProbing:
+    def test_probe_round_is_one_batched_measurement(self, rng):
+        """All basis vectors plus the baseline go out as a single query."""
+        weights = rng.normal(size=(4, 7))
+        prober, _ = make_prober(weights, measure_baseline=True)
+        calls = []
+        original = prober.measurement.measure
+
+        def counting_measure(inputs):
+            calls.append(np.atleast_2d(inputs).shape)
+            return original(inputs)
+
+        prober.measurement.measure = counting_measure
+        result = prober.probe_all()
+        assert calls == [(8, 7)]  # 7 basis vectors + 1 baseline, one call
+        assert result.queries_used == 8
+
+    def test_per_column_reference_mode_issues_one_query_per_column(self, rng):
+        weights = rng.normal(size=(4, 7))
+        array = CrossbarArray(weights, random_state=0)
+        measurement = PowerMeasurement(array)
+        prober = ColumnNormProber(measurement, 7, measure_baseline=True, batched=False)
+        calls = []
+        original = measurement.measure
+
+        def counting_measure(inputs):
+            calls.append(np.atleast_2d(inputs).shape)
+            return original(inputs)
+
+        measurement.measure = counting_measure
+        result = prober.probe_all()
+        assert len(calls) == 8  # baseline + one call per column
+        assert result.queries_used == 8
+        np.testing.assert_allclose(
+            result.column_sums, array.column_conductance_sums, atol=1e-12
+        )
+
+
 class TestProbeResultValidation:
     def test_shape_mismatch_rejected(self):
         with pytest.raises(ValueError):
