@@ -1,12 +1,15 @@
 """Quickstart: train a victim, map it to an NVM crossbar, and leak its weights' 1-norms.
 
-This walks through the paper's core observation in ~40 lines:
+This walks through the paper's core observation:
 
 1. train the paper's single-layer network on the MNIST-like dataset,
 2. deploy it on a simulated NVM crossbar accelerator (ideal, min-power mapping),
 3. probe the accelerator's power rail with basis-vector inputs,
 4. show that the measured currents reveal the weight matrix's column 1-norms,
-   which in turn predict where the model is most sensitive.
+   which in turn predict where the model is most sensitive,
+5. reproduce the paper's Table I through the registry entry point
+   (``run_experiments``) — the same API that drives every experiment
+   pipeline, serially or on a process pool.
 
 Run with:  python examples/quickstart.py
 """
@@ -16,6 +19,7 @@ import numpy as np
 from repro.analysis import sensitivity_norm_correlations
 from repro.crossbar import CrossbarAccelerator
 from repro.datasets import load_mnist_like
+from repro.experiments import get_experiment, run_experiments
 from repro.nn.gradients import weight_column_norms
 from repro.nn.trainer import train_single_layer
 from repro.sidechannel import ColumnNormProber, PowerMeasurement
@@ -54,6 +58,16 @@ def main() -> None:
     print(
         "   => the power rail alone tells the attacker which pixels the "
         "network cares about most (the paper's Table I / Figure 3 result)."
+    )
+
+    print("5) Reproducing Table I through the unified experiment registry ...")
+    results = run_experiments(
+        ["table1"], "smoke", scenarios=["paper/mnist-softmax"], base_seed=0
+    )
+    print(get_experiment("table1").format_result(results["table1"]))
+    print(
+        "   (run any subset at any scale — python -m repro.experiments --help; "
+        "pass ParallelRunner(mode='process') to use every core.)"
     )
 
 

@@ -1,18 +1,30 @@
 #!/usr/bin/env python
-"""Fail when the fused engine is slower than the legacy two-pass engine.
+"""Fail when a recorded benchmark regresses against its gate.
 
-Reads the ``engine`` section of ``BENCH_engine.json`` (written by
-``benchmarks/bench_engine.py`` or the ``@pytest.mark.engine`` smoke test) and
-exits non-zero if any recorded fused-vs-legacy speedup falls below the
-threshold::
+Reads ``BENCH_engine.json`` (written by the ``benchmarks/`` suite) and exits
+non-zero when any gate fails::
 
     python scripts/check_bench_regression.py [--path BENCH_engine.json]
                                              [--min-speedup 1.0]
                                              [--min-peak-speedup 2.0]
+                                             [--min-probing-speedup 1.0]
 
-``--min-speedup`` bounds every individual batch size; ``--min-peak-speedup``
-bounds the best batch size (the acceptance criterion for the fused engine is
-a >= 2x peak speedup on power-exposed queries against an ideal crossbar).
+Gated sections:
+
+* ``engine`` — fused single-pass engine vs the legacy two-pass engine:
+  ``--min-speedup`` bounds every individual batch size, ``--min-peak-speedup``
+  the best one (the fused-engine acceptance criterion is a >= 2x peak speedup
+  on power-exposed queries against an ideal crossbar).
+* ``bench_probing`` — the batched prober must not be slower than the
+  per-column reference mode (``--min-probing-speedup``).
+* ``bench_figure5_mnist`` / ``bench_figure5_cifar`` — must have been recorded
+  from a process-pool run with a positive wall time.
+* ``bench_experiments`` — the unified registry pipeline: the process-pool
+  sweep must be bit-identical to the serial sweep and both wall times must be
+  recorded.
+
+Sections other than ``engine`` are only checked when present, so a partial
+benchmark run stays usable; ``engine`` is always required.
 """
 
 from __future__ import annotations
@@ -30,12 +42,18 @@ def check_results(
     *,
     min_speedup: float = 1.0,
     min_peak_speedup: float = 2.0,
+    min_probing_speedup: float = 1.0,
 ) -> list[str]:
     """Return a list of human-readable regression messages (empty = pass)."""
     failures: list[str] = []
+    failures.extend(_check_probing_section(results, min_probing_speedup))
+    failures.extend(_check_figure5_sections(results))
+    failures.extend(_check_experiments_section(results))
     engine = results.get("engine")
     if engine is None:
-        return ["no 'engine' section found — run benchmarks/bench_engine.py first"]
+        return failures + [
+            "no 'engine' section found — run benchmarks/bench_engine.py first"
+        ]
 
     rows = engine.get("oracle_query", [])
     if not rows:
@@ -70,11 +88,68 @@ def check_results(
     return failures
 
 
+def _check_probing_section(results: dict, min_probing_speedup: float) -> list[str]:
+    """Gate the probing-workload timings recorded by benchmarks/bench_probing.py."""
+    probing = results.get("bench_probing")
+    if probing is None:
+        return []
+    failures: list[str] = []
+    for key in ("batched_s", "per_column_s", "speedup"):
+        if key not in probing:
+            failures.append(f"bench_probing is missing the {key!r} timing")
+    speedup = probing.get("speedup")
+    if speedup is not None and speedup < min_probing_speedup:
+        failures.append(
+            f"probing workload: batched prober is slower than the per-column "
+            f"reference mode (speedup {speedup:.2f} < {min_probing_speedup:.2f})"
+        )
+    return failures
+
+
+def _check_figure5_sections(results: dict) -> list[str]:
+    """Gate the Figure 5 pipeline timings recorded by benchmarks/bench_figure5.py."""
+    failures: list[str] = []
+    for section in ("bench_figure5_mnist", "bench_figure5_cifar"):
+        payload = results.get(section)
+        if payload is None:
+            continue
+        elapsed = payload.get("elapsed_s")
+        if not isinstance(elapsed, (int, float)) or elapsed <= 0:
+            failures.append(f"{section} has no positive elapsed_s wall time")
+        if payload.get("runner_mode") != "process":
+            failures.append(
+                f"{section} was not recorded from a process-pool run "
+                f"(runner_mode={payload.get('runner_mode')!r})"
+            )
+    return failures
+
+
+def _check_experiments_section(results: dict) -> list[str]:
+    """Gate the unified-registry timings recorded by benchmarks/bench_experiments.py."""
+    payload = results.get("bench_experiments")
+    if payload is None:
+        return []
+    failures: list[str] = []
+    for key in ("serial_s", "process_s"):
+        value = payload.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            failures.append(f"bench_experiments has no positive {key!r} wall time")
+    if payload.get("results_identical") is not True:
+        failures.append(
+            "bench_experiments: process-pool results were not bit-identical "
+            "to the serial sweep"
+        )
+    if not payload.get("experiments"):
+        failures.append("bench_experiments recorded no experiment names")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--path", type=Path, default=DEFAULT_PATH)
     parser.add_argument("--min-speedup", type=float, default=1.0)
     parser.add_argument("--min-peak-speedup", type=float, default=2.0)
+    parser.add_argument("--min-probing-speedup", type=float, default=1.0)
     args = parser.parse_args(argv)
 
     if not args.path.exists():
@@ -85,6 +160,7 @@ def main(argv: list[str] | None = None) -> int:
         results,
         min_speedup=args.min_speedup,
         min_peak_speedup=args.min_peak_speedup,
+        min_probing_speedup=args.min_probing_speedup,
     )
     if failures:
         print("bench regression check FAILED:")

@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Run any subset of the registered experiment pipelines (CLI wrapper).
+
+Equivalent to ``python -m repro.experiments``; see that module for options::
+
+    python scripts/run_experiments.py --list
+    python scripts/run_experiments.py table1 figure4 --scale smoke --mode process
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,7 @@ from repro.datasets.transforms import (
 )
 from repro.datasets.synthetic_digits import SyntheticDigitsGenerator, load_mnist_like
 from repro.datasets.synthetic_objects import SyntheticObjectsGenerator, load_cifar_like
-from repro.datasets.loaders import load_dataset, available_datasets
+from repro.datasets.loaders import load_dataset, available_datasets, canonical_dataset_name
 
 __all__ = [
     "Dataset",
@@ -41,4 +41,5 @@ __all__ = [
     "load_cifar_like",
     "load_dataset",
     "available_datasets",
+    "canonical_dataset_name",
 ]

@@ -17,10 +17,30 @@ _LOADERS: Dict[str, Callable[..., Dataset]] = {
     "cifar-10": load_cifar_like,
 }
 
+#: Aliases mapped to the canonical dataset name used in results/metadata.
+_CANONICAL: Dict[str, str] = {
+    "mnist": "mnist-like",
+    "cifar10": "cifar-like",
+    "cifar-10": "cifar-like",
+}
+
 
 def available_datasets() -> List[str]:
     """Names accepted by :func:`load_dataset`."""
     return sorted(set(_LOADERS))
+
+
+def canonical_dataset_name(name: str) -> str:
+    """Resolve a dataset name or alias to its canonical form.
+
+    ``"mnist"`` / ``"mnist-like"`` -> ``"mnist-like"``; unknown names raise
+    :class:`KeyError` with the list of accepted names.
+    """
+    key = str(name).lower()
+    key = _CANONICAL.get(key, key)
+    if key not in _LOADERS:
+        raise KeyError(f"unknown dataset {name!r}; available: {available_datasets()}")
+    return key
 
 
 def load_dataset(

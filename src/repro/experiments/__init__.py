@@ -1,10 +1,15 @@
 """Experiment pipelines regenerating every table and figure of the paper.
 
-Each module is runnable as a script (``python -m repro.experiments.table1``)
-and exposes a ``run_*`` function returning structured results plus a
-``format_*`` function that prints the same rows/series the paper reports.
-Benchmarks in ``benchmarks/`` call the same functions with scaled-down
-parameters.
+All pipelines follow one protocol (:class:`~repro.experiments.base.Experiment`):
+they expand an :class:`~repro.experiments.config.ExperimentScale` and a list of
+:class:`~repro.experiments.scenario.ScenarioSpec` into independent picklable
+jobs, execute them serially or on a
+:class:`~repro.experiments.runner.ParallelRunner` process pool (bit-identical
+results either way), and assemble an
+:class:`~repro.experiments.base.ExperimentResult`.  The registry
+(:func:`get_experiment` / :func:`run_experiments`) plus the CLI
+(``python -m repro.experiments``) run any subset at any scale; the historical
+``run_*`` / ``format_*`` entry points remain as thin wrappers.
 """
 
 from repro.experiments.config import (
@@ -20,6 +25,22 @@ from repro.experiments.runner import (
     prepare_dataset,
     run_multi_seed,
     TrainedModel,
+)
+from repro.experiments.base import Experiment, ExperimentResult, Job, execute_jobs
+from repro.experiments.scenario import (
+    PAPER_SCENARIOS,
+    SCENARIOS,
+    ScenarioSpec,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    resolve_scenarios,
+)
+from repro.experiments.registry import (
+    get_experiment,
+    list_experiments,
+    register,
+    run_experiments,
 )
 from repro.experiments.table1 import run_table1, format_table1, Table1Result
 from repro.experiments.figure3 import run_figure3, format_figure3, Figure3Result
@@ -38,6 +59,21 @@ __all__ = [
     "prepare_dataset",
     "run_multi_seed",
     "TrainedModel",
+    "Experiment",
+    "ExperimentResult",
+    "Job",
+    "execute_jobs",
+    "ScenarioSpec",
+    "SCENARIOS",
+    "PAPER_SCENARIOS",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "resolve_scenarios",
+    "register",
+    "get_experiment",
+    "list_experiments",
+    "run_experiments",
     "run_table1",
     "format_table1",
     "Table1Result",

@@ -1,0 +1,274 @@
+"""The unified experiment protocol: jobs, results, and the ``Experiment`` ABC.
+
+Every paper artefact (Table I, Figures 3-5) and every future study follows
+one protocol:
+
+* :meth:`Experiment.build_jobs` expands a scale preset and a list of
+  :class:`~repro.experiments.scenario.ScenarioSpec` into independent
+  :class:`Job` descriptions (one per scenario x seed, typically);
+* :meth:`Experiment.run_job` executes one job and returns a
+  :class:`~repro.utils.results.RunResult` — it must be implemented so that
+  ``run_job(job)`` is picklable (delegate to a module-level function), which
+  lets every pipeline run its jobs on a
+  :class:`~repro.experiments.runner.ParallelRunner` process pool;
+* :meth:`Experiment.assemble` folds the ordered job results into an
+  :class:`ExperimentResult`.
+
+:meth:`Experiment.run` is the shared template: build jobs, execute them
+(serially or on a runner — bit-identical either way, because every job is
+seeded up front and results are assembled in submission order), assemble.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.experiments.config import ExperimentScale, resolve_scale
+from repro.experiments.scenario import ScenarioSpec, resolve_scenarios
+from repro.utils.results import RunResult, SweepResult
+
+
+@dataclass(frozen=True)
+class Job:
+    """One independent unit of work in an experiment sweep.
+
+    Jobs are frozen and fully self-describing (experiment name, scenario,
+    scale, seed, plus experiment-specific ``params``), so they can be pickled
+    to worker processes and replayed individually.
+    """
+
+    experiment: str
+    scenario: ScenarioSpec
+    scale: ExperimentScale
+    seed: int
+    run_index: int
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def param(self, key: str, default: Any = None) -> Any:
+        """Look up one entry of :attr:`params`."""
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+    @property
+    def label(self) -> str:
+        """Human-readable identifier used in logs and result names."""
+        extras = "".join(f"/{value}" for _, value in self.params)
+        return f"{self.experiment}/{self.scenario.name}{extras}/run{self.run_index}"
+
+
+@dataclass
+class ExperimentResult:
+    """The assembled outcome of one experiment at one scale.
+
+    Attributes
+    ----------
+    experiment:
+        Registered experiment name.
+    scale_name:
+        The :class:`ExperimentScale` preset the sweep ran at.
+    scenarios:
+        Names of the scenarios covered, in execution order.
+    sweep:
+        Every per-job :class:`RunResult`, in job order.
+    summary:
+        Experiment-specific aggregated values (JSON-serialisable).
+    """
+
+    experiment: str
+    scale_name: str
+    scenarios: List[str] = field(default_factory=list)
+    sweep: SweepResult = field(default_factory=lambda: SweepResult(name="sweep"))
+    summary: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable representation (inverse of :meth:`from_dict`)."""
+        return {
+            "experiment": self.experiment,
+            "scale_name": self.scale_name,
+            "scenarios": list(self.scenarios),
+            "sweep": self.sweep.to_dict(),
+            "summary": self.summary,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentResult":
+        """Reconstruct an :class:`ExperimentResult` written by :meth:`to_dict`."""
+        return cls(
+            experiment=str(payload["experiment"]),
+            scale_name=str(payload["scale_name"]),
+            scenarios=list(payload.get("scenarios", [])),
+            sweep=SweepResult.from_dict(payload.get("sweep", {"name": "sweep"})),
+            summary=dict(payload.get("summary", {})),
+        )
+
+
+class Experiment(ABC):
+    """Protocol every experiment pipeline implements.
+
+    Subclasses set :attr:`name` (the registry key) and :attr:`description`,
+    and implement the three hooks below.  ``run_job`` implementations must
+    delegate to module-level functions so process pools can pickle the work.
+    """
+
+    #: Registry key; also the prefix of result names.
+    name: str = ""
+    #: One-line summary shown by ``python -m repro.experiments --list``.
+    description: str = ""
+
+    # ------------------------------------------------------------- protocol
+
+    def build_jobs(
+        self,
+        scale: ExperimentScale,
+        scenarios: Sequence[ScenarioSpec],
+        *,
+        base_seed: int = 0,
+    ) -> List[Job]:
+        """Expand a scale and scenario list into independent jobs.
+
+        The default expansion is the common scenario x seed grid (seeds
+        derived once via :func:`seeds_for_runs`, shared by every scenario,
+        exactly like the historical ``run_multi_seed`` path); experiments
+        with a different job shape override this.  Overrides may accept
+        extra keyword options (forwarded from :meth:`run`); unknown options
+        raise :class:`TypeError` rather than being silently ignored.
+        """
+        from repro.utils.rng import seeds_for_runs
+
+        seeds = seeds_for_runs(base_seed, scale.n_runs)
+        return [
+            Job(
+                experiment=self.name,
+                scenario=scenario,
+                scale=scale,
+                seed=seed,
+                run_index=run_index,
+            )
+            for scenario in scenarios
+            for run_index, seed in enumerate(seeds)
+        ]
+
+    @staticmethod
+    @abstractmethod
+    def run_job(job: Job) -> RunResult:
+        """Execute one job (must be picklable: delegate to a module function)."""
+
+    @abstractmethod
+    def assemble(
+        self,
+        scale: ExperimentScale,
+        scenarios: Sequence[ScenarioSpec],
+        jobs: Sequence[Job],
+        results: Sequence[RunResult],
+    ) -> ExperimentResult:
+        """Fold ordered job results into an :class:`ExperimentResult`."""
+
+    def format_result(self, result: ExperimentResult) -> str:
+        """Render the assembled result as the paper-style text report."""
+        return f"{self.name}: {len(result.sweep)} runs at scale={result.scale_name}"
+
+    # ------------------------------------------------------------- template
+
+    def run(
+        self,
+        scale="bench",
+        *,
+        scenarios=None,
+        runner=None,
+        base_seed: int = 0,
+        **options,
+    ) -> ExperimentResult:
+        """Build, execute, and assemble the full sweep.
+
+        Parameters
+        ----------
+        scale:
+            Preset name or :class:`ExperimentScale`.
+        scenarios:
+            Scenario names / :class:`ScenarioSpec` instances; ``None`` selects
+            the four paper configurations.
+        runner:
+            Optional :class:`~repro.experiments.runner.ParallelRunner`; jobs
+            then execute on its worker pool with bit-identical results (every
+            job is seeded up front, results are collected in job order).
+        base_seed:
+            Root of the deterministic per-job seed derivation.
+        options:
+            Experiment-specific knobs forwarded to :meth:`build_jobs`.
+        """
+        scale = resolve_scale(scale)
+        scenarios = resolve_scenarios(scenarios)
+        jobs = self.build_jobs(scale, scenarios, base_seed=base_seed, **options)
+        results = execute_jobs(jobs, runner=runner, run_job=self.run_job)
+        assembled = self.assemble(scale, scenarios, jobs, results)
+        assembled.summary.setdefault("base_seed", base_seed)
+        return assembled
+
+
+def _annotate(result: RunResult, job: Job) -> RunResult:
+    """Stamp the job's identity onto its result (idempotent)."""
+    result.metadata.setdefault("experiment", job.experiment)
+    result.metadata.setdefault("scenario", job.scenario.name)
+    result.metadata.setdefault("seed", job.seed)
+    result.metadata.setdefault("run_index", job.run_index)
+    return result
+
+
+def _run_annotated(run_job, job: Job) -> RunResult:
+    """Worker-side wrapper around an experiment's picklable ``run_job``."""
+    return _annotate(run_job(job), job)
+
+
+def _execute_job(job: Job) -> RunResult:
+    """Registry-resolving job trampoline (serial path and replay tooling).
+
+    Resolves the experiment by name through the registry, which lazily
+    imports the built-in experiment modules — sufficient for the four paper
+    pipelines anywhere, and for any experiment on the local process.
+    """
+    from repro.experiments.registry import get_experiment
+
+    return _annotate(get_experiment(job.experiment).run_job(job), job)
+
+
+def execute_jobs(
+    jobs: Sequence[Job], *, runner=None, run_job=None
+) -> List[RunResult]:
+    """Run every job, serially or on a :class:`ParallelRunner`, in order.
+
+    When ``run_job`` (a module-level picklable function) is given, pool
+    workers receive it directly with each job, so user-registered
+    experiments work under any start method (``fork``/``spawn``/
+    ``forkserver``) without the worker needing to re-import and re-register
+    them; without it, jobs are resolved by name through the registry.
+    """
+    if runner is None:
+        if run_job is None:
+            return [_execute_job(job) for job in jobs]
+        return [_run_annotated(run_job, job) for job in jobs]
+    if run_job is None:
+        return runner.map(_execute_job, [(job,) for job in jobs])
+    return runner.map(_run_annotated, [(run_job, job) for job in jobs])
+
+
+def group_results_by_scenario(
+    jobs: Sequence[Job], results: Sequence[RunResult]
+) -> List[Tuple[ScenarioSpec, List[RunResult]]]:
+    """Group ordered job results by their scenario *object*, single pass.
+
+    Keyed by the frozen :class:`ScenarioSpec` value (not its name), so two
+    distinct specs that happen to share a name stay separate; groups appear
+    in first-job order and each result lands in exactly one group.
+    """
+    groups: Dict[ScenarioSpec, List[RunResult]] = {}
+    order: List[ScenarioSpec] = []
+    for job, result in zip(jobs, results):
+        if job.scenario not in groups:
+            groups[job.scenario] = []
+            order.append(job.scenario)
+        groups[job.scenario].append(result)
+    return [(scenario, groups[scenario]) for scenario in order]

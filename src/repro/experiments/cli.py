@@ -1,0 +1,131 @@
+"""Command-line front end for the unified experiment API.
+
+Run any subset of the registered experiments at any scale, serially or on a
+process pool, optionally under non-default scenarios, and serialise the
+results::
+
+    python -m repro.experiments table1 figure4 --scale smoke
+    python -m repro.experiments --list
+    python -m repro.experiments table1 --scenarios noisy-device quantized-adc
+    python -m repro.experiments --scale bench --mode process --output-dir results/
+
+``scripts/run_experiments.py`` is a thin wrapper around the same entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.config import SCALES
+from repro.experiments.registry import get_experiment, list_experiments, run_experiments
+from repro.experiments.runner import ParallelRunner
+from repro.experiments.scenario import SCENARIOS, get_scenario, list_scenarios
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the paper's experiment pipelines through the unified registry.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment names to run (default: all registered experiments)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="bench",
+        choices=sorted(SCALES),
+        help="size preset shared by all selected experiments (default: bench)",
+    )
+    parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        metavar="SCENARIO",
+        help="scenario preset names (default: the four paper configurations)",
+    )
+    parser.add_argument(
+        "--mode",
+        default="serial",
+        choices=ParallelRunner.VALID_MODES,
+        help="job execution mode (default: serial; 'process' uses a worker pool)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker-pool size for process/thread modes (default: CPU count)",
+    )
+    parser.add_argument("--base-seed", type=int, default=0, help="root seed (default: 0)")
+    parser.add_argument(
+        "--output-dir",
+        default=None,
+        help="serialise each ExperimentResult to <dir>/<experiment>_<scale>.json",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered experiments and exit"
+    )
+    parser.add_argument(
+        "--list-scenarios", action="store_true", help="list scenario presets and exit"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the formatted result tables"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in list_experiments():
+            print(f"{name:10s} {get_experiment(name).description}")
+        return 0
+    if args.list_scenarios:
+        for name in list_scenarios():
+            print(f"{name:24s} {SCENARIOS[name].description}")
+        return 0
+
+    names = args.experiments or None
+    if names:
+        for name in names:
+            get_experiment(name)  # fail fast on unknown names
+    if args.scenarios:
+        for name in args.scenarios:
+            get_scenario(name)
+
+    runner = None
+    if args.mode != "serial":
+        runner = ParallelRunner(mode=args.mode, max_workers=args.workers)
+
+    start = time.perf_counter()
+    results = run_experiments(
+        names,
+        args.scale,
+        runner=runner,
+        scenarios=args.scenarios,
+        base_seed=args.base_seed,
+        output_dir=args.output_dir,
+    )
+    elapsed = time.perf_counter() - start
+
+    for name, result in results.items():
+        if not args.quiet:
+            print(get_experiment(name).format_result(result))
+            print()
+    print(
+        f"ran {len(results)} experiment(s) at scale={args.scale} "
+        f"in {elapsed:.1f}s ({args.mode} mode)"
+    )
+    if args.output_dir:
+        print(f"results serialised to {args.output_dir}/")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

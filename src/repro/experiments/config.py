@@ -82,8 +82,33 @@ class ExperimentScale:
     power_loss_weights: Tuple[float, ...]
     surrogate_epochs: int
 
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scale name must be non-empty")
+        for field_name in ("n_train", "n_test", "n_runs", "train_epochs", "surrogate_epochs"):
+            check_positive_int(getattr(self, field_name), field_name)
+        for field_name in ("query_counts", "attack_strengths", "power_loss_weights"):
+            values = getattr(self, field_name)
+            if not isinstance(values, tuple):
+                object.__setattr__(self, field_name, tuple(values))
+                values = getattr(self, field_name)
+            if len(values) == 0:
+                raise ValueError(f"{field_name} must contain at least one value")
+        for count in self.query_counts:
+            check_positive_int(count, "query_counts entry")
+        for strength in self.attack_strengths:
+            if strength < 0:
+                raise ValueError(f"attack_strengths must be >= 0, got {strength}")
+        for weight in self.power_loss_weights:
+            if weight < 0:
+                raise ValueError(f"power_loss_weights must be >= 0, got {weight}")
+
     def with_overrides(self, **kwargs) -> "ExperimentScale":
-        """Return a copy with selected fields replaced."""
+        """Return a copy with selected fields replaced (and re-validated).
+
+        Unknown field names raise :class:`TypeError`; invalid values raise
+        :class:`ValueError` through the same validation as construction.
+        """
         return replace(self, **kwargs)
 
 

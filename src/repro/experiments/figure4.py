@@ -1,33 +1,43 @@
 """Figure 4 — power-guided single-pixel attacks.
 
-For each of the four configurations the paper plots test accuracy against
-attack strength (0-10) for five single-pixel strategies: RP (random pixel,
-random sign), "+" (largest-1-norm pixel, add), "−" (largest-1-norm pixel,
-subtract), RD (largest-1-norm pixel, random sign) and Worst (white-box
-single-pixel FGSM).  The 1-norm information is obtained by probing the power
-side channel of the simulated crossbar.
+For each scenario (by default the paper's four configurations) the pipeline
+plots test accuracy against attack strength (0-10) for five single-pixel
+strategies: RP (random pixel, random sign), "+" (largest-1-norm pixel, add),
+"−" (largest-1-norm pixel, subtract), RD (largest-1-norm pixel, random sign)
+and Worst (white-box single-pixel FGSM).  The 1-norm information is obtained
+by probing the power side channel of the simulated crossbar.
 
 The expected qualitative ordering (reproduced and asserted by the tests) is
 ``Worst ≤ power-guided ≤ RP`` in accuracy — i.e. the power information makes
 the attack substantially more effective than random, without reaching the
 white-box bound.
+
+The pipeline is a registered :class:`~repro.experiments.base.Experiment`
+(``"figure4"``): each scenario x seed cell is one picklable job, so the whole
+sweep runs on a :class:`~repro.experiments.runner.ParallelRunner` process
+pool with results bit-identical to the serial path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.attacks.evaluation import accuracy_under_attack
 from repro.attacks.single_pixel import SinglePixelAttack, SinglePixelStrategy
-from repro.crossbar.accelerator import CrossbarAccelerator
-from repro.experiments.config import PAPER_CONFIGURATIONS, ExperimentScale, resolve_scale
+from repro.experiments.base import (
+    Experiment,
+    ExperimentResult,
+    Job,
+    group_results_by_scenario,
+)
+from repro.experiments.config import ExperimentScale
+from repro.experiments.registry import register
 from repro.experiments.reporting import format_series
-from repro.experiments.runner import prepare_dataset, prepare_model, run_multi_seed
-from repro.sidechannel.measurement import PowerMeasurement
-from repro.sidechannel.probing import ColumnNormProber
+from repro.experiments.runner import prepare_dataset
+from repro.experiments.scenario import ScenarioSpec
 from repro.utils.results import RunResult, SweepResult
 
 #: Figure 4 panel labels keyed by (dataset, activation).
@@ -62,24 +72,20 @@ class Figure4Result:
         return self.curves[(dataset, activation)][strategy_label]
 
 
-def _single_run(
-    dataset_name: str,
-    activation: str,
-    scale: ExperimentScale,
-    seed: int,
-) -> RunResult:
+def _run_figure4_job(job: Job) -> RunResult:
     """Train a victim, probe its power channel, and run all five strategies."""
-    dataset = prepare_dataset(dataset_name, scale, random_state=seed)
-    model = prepare_model(dataset, activation, scale, random_state=seed)
+    scenario, scale, seed = job.scenario, job.scale, job.seed
+    dataset = prepare_dataset(scenario.dataset, scale, random_state=seed)
+    model = scenario.build_victim(dataset, scale, random_state=seed)
 
-    accelerator = CrossbarAccelerator(model.network, random_state=seed)
-    prober = ColumnNormProber(PowerMeasurement(accelerator), dataset.n_features)
+    target = scenario.build_accelerator(model.network, random_state=seed)
+    prober = scenario.build_prober(target, dataset.n_features, random_state=seed)
     probe = prober.probe_all()
     leaked_norms = probe.column_sums
 
     result = RunResult(
-        name=f"figure4/{dataset_name}/{activation}",
-        metadata={"dataset": dataset_name, "activation": activation},
+        name=f"figure4/{scenario.dataset}/{scenario.activation}",
+        metadata={"dataset": scenario.dataset, "activation": scenario.activation},
     )
     result.add_metric("clean_test_accuracy", model.test_accuracy)
     result.add_metric("probe_queries", probe.queries_used)
@@ -106,32 +112,128 @@ def _single_run(
     return result
 
 
-def run_figure4(scale="bench", *, base_seed: int = 0) -> Figure4Result:
-    """Reproduce the Figure 4 accuracy-vs-strength curves."""
-    scale = resolve_scale(scale)
-    output = Figure4Result(scale_name=scale.name, attack_strengths=tuple(scale.attack_strengths))
-    for dataset_name, activation in PAPER_CONFIGURATIONS:
-        sweep = run_multi_seed(
-            f"figure4/{dataset_name}/{activation}",
-            lambda run_index, seed: _single_run(dataset_name, activation, scale, seed),
-            n_runs=scale.n_runs,
-            base_seed=base_seed,
+class Figure4Experiment(Experiment):
+    """Registered pipeline reproducing the Figure 4 attack curves.
+
+    Jobs are the default scenario x seed grid from the :class:`Experiment`
+    base class.
+    """
+
+    name = "figure4"
+    description = "Single-pixel attack accuracy vs strength, five strategies (Figure 4)"
+
+    run_job = staticmethod(_run_figure4_job)
+
+    def assemble(
+        self,
+        scale: ExperimentScale,
+        scenarios: Sequence[ScenarioSpec],
+        jobs: Sequence[Job],
+        results: Sequence[RunResult],
+    ) -> ExperimentResult:
+        assembled = ExperimentResult(
+            experiment=self.name,
+            scale_name=scale.name,
+            scenarios=[scenario.name for scenario in scenarios],
         )
-        curves: Dict[str, List[float]] = {}
-        for strategy in STRATEGIES:
-            label = strategy.paper_label
-            stacked = np.stack([run.arrays[label] for run in sweep])
-            curves[label] = stacked.mean(axis=0).tolist()
-        output.curves[(dataset_name, activation)] = curves
-        output.sweeps[(dataset_name, activation)] = sweep
+        assembled.summary["attack_strengths"] = [
+            float(s) for s in scale.attack_strengths
+        ]
+        curves_by_scenario = []
+        for scenario, runs in group_results_by_scenario(jobs, results):
+            for result in runs:
+                assembled.sweep.add(result)
+            curves: Dict[str, List[float]] = {}
+            for strategy in STRATEGIES:
+                label = strategy.paper_label
+                stacked = np.stack([run.arrays[label] for run in runs])
+                curves[label] = stacked.mean(axis=0).tolist()
+            curves_by_scenario.append(
+                {
+                    "scenario": scenario.name,
+                    "dataset": scenario.dataset,
+                    "activation": scenario.activation,
+                    "curves": curves,
+                }
+            )
+        assembled.summary["curves"] = curves_by_scenario
+        return assembled
+
+    def format_result(self, result: ExperimentResult) -> str:
+        """Render one text panel per scenario (collision-free for variants)."""
+        strengths = list(result.summary.get("attack_strengths", ()))
+        sections = []
+        for entry in result.summary.get("curves", []):
+            key = (entry["dataset"], entry["activation"])
+            panel = PANEL_LABELS.get(key, "?")
+            sections.append(
+                format_series(
+                    "strength",
+                    strengths,
+                    entry["curves"],
+                    title=(
+                        f"Figure 4({panel}) reproduction — {entry['scenario']} "
+                        f"({entry['dataset']}, {entry['activation']} output, "
+                        f"scale={result.scale_name})"
+                    ),
+                )
+            )
+        return "\n\n".join(sections)
+
+
+register(Figure4Experiment)
+
+
+def _legacy_result(result: ExperimentResult) -> Figure4Result:
+    """Adapt an :class:`ExperimentResult` to the historical result type.
+
+    The legacy :class:`Figure4Result` is keyed by (dataset, activation);
+    scenario selections where two scenarios share that pair cannot be
+    represented and raise rather than silently overwriting each other.
+    """
+    output = Figure4Result(
+        scale_name=result.scale_name,
+        attack_strengths=tuple(result.summary.get("attack_strengths", ())),
+    )
+    for entry in result.summary.get("curves", []):
+        key = (entry["dataset"], entry["activation"])
+        if key in output.curves:
+            raise ValueError(
+                f"two scenarios map to the same legacy panel {key}; use "
+                "get_experiment('figure4').run(...) for scenario-keyed results"
+            )
+        output.curves[key] = {
+            label: list(curve) for label, curve in entry["curves"].items()
+        }
+    for run in result.sweep:
+        key = (run.metadata.get("dataset"), run.metadata.get("activation"))
+        if key not in output.sweeps:
+            output.sweeps[key] = SweepResult(name=run.name)
+        output.sweeps[key].add(run)
     return output
+
+
+def run_figure4(
+    scale="bench", *, base_seed: int = 0, runner=None, scenarios=None
+) -> Figure4Result:
+    """Reproduce the Figure 4 accuracy-vs-strength curves (legacy-shaped result).
+
+    Thin wrapper over the registered :class:`Figure4Experiment`; passing a
+    :class:`~repro.experiments.runner.ParallelRunner` executes the
+    scenario x seed jobs on its worker pool with bit-identical results.
+    """
+    experiment = Figure4Experiment()
+    result = experiment.run(
+        scale, scenarios=scenarios, runner=runner, base_seed=base_seed
+    )
+    return _legacy_result(result)
 
 
 def format_figure4(result: Figure4Result) -> str:
     """Render one text panel per configuration (accuracy vs attack strength)."""
     sections = []
     for (dataset, activation), curves in result.curves.items():
-        panel = PANEL_LABELS[(dataset, activation)]
+        panel = PANEL_LABELS.get((dataset, activation), "?")
         sections.append(
             format_series(
                 "strength",

@@ -12,8 +12,14 @@ CIFAR-10/raw-output.  Each row contains three panels:
   information is used, relative to λ = 0, with asterisks marking p < 0.05
   under a Student's t-test over the independent runs (right panels c, f, i, l).
 
-This module reproduces all three panels for any subset of datasets and
-observation modes.
+The pipeline is a registered :class:`~repro.experiments.base.Experiment`
+(``"figure5"``): each (row, seed) cell is one picklable job — the per-seed
+λ x query-count sweep stays inside the job so every stochastic component is
+derived from the job's seed alone — and the whole figure runs on a
+:class:`~repro.experiments.runner.ParallelRunner` process pool with results
+bit-identical to the serial path.  Rows are derived from the scenario list
+(unique datasets x both observation modes) or passed explicitly via the
+legacy ``rows`` option.
 """
 
 from __future__ import annotations
@@ -26,9 +32,13 @@ import numpy as np
 from repro.analysis.statistics import independent_ttest
 from repro.attacks.oracle import Oracle
 from repro.attacks.surrogate import SurrogateAttack, SurrogateConfig
+from repro.experiments.base import Experiment, ExperimentResult, Job
 from repro.experiments.config import ExperimentScale, resolve_scale
+from repro.experiments.registry import register
 from repro.experiments.reporting import format_series
-from repro.experiments.runner import ParallelRunner, prepare_dataset, prepare_model
+from repro.experiments.runner import ParallelRunner, prepare_dataset
+from repro.experiments.scenario import ScenarioSpec
+from repro.utils.results import RunResult
 from repro.utils.rng import seeds_for_runs
 
 #: Figure 5 row labels keyed by (dataset, output_mode).
@@ -39,12 +49,17 @@ ROW_LABELS: Dict[Tuple[str, str], str] = {
     ("cifar-like", "raw"): "ROW 4 (panels j,k,l)",
 }
 
+OUTPUT_MODES: Tuple[str, ...] = ("label", "raw")
+
 DEFAULT_ROWS: Tuple[Tuple[str, str], ...] = (
     ("mnist-like", "label"),
     ("mnist-like", "raw"),
     ("cifar-like", "label"),
     ("cifar-like", "raw"),
 )
+
+#: FGSM ε applied to the oracle (0.1 in the paper).
+DEFAULT_ATTACK_STRENGTH = 0.1
 
 
 @dataclass
@@ -117,26 +132,17 @@ class Figure5Result:
         return self.rows[(dataset, output_mode)]
 
 
-def _run_row_seed(
-    dataset_name: str,
+def _sweep_row_cells(
+    victim,
+    dataset,
     output_mode: str,
     scale: ExperimentScale,
     seed: int,
     attack_strength: float,
-) -> Tuple[float, Dict[Tuple[float, int], Tuple[float, float]]]:
-    """One independent seed of a Figure 5 row (self-contained, picklable).
-
-    Returns the victim's clean test accuracy and a mapping
-    ``(lambda, query_index) -> (surrogate_accuracy, adversarial_accuracy)``.
-    Every stochastic component is seeded from ``seed`` alone, so the result
-    is identical whether the seeds run serially or on a worker pool.
-    """
+) -> Dict[Tuple[float, int], Tuple[float, float]]:
+    """The per-seed λ x query-count sweep against one trained victim."""
     query_counts = tuple(int(q) for q in scale.query_counts)
     lambdas = tuple(float(l) for l in scale.power_loss_weights)
-    dataset = prepare_dataset(dataset_name, scale, random_state=seed)
-    # The oracles are the linear-output single-layer networks (Section IV
-    # uses only the linear activation for the surrogate output loss).
-    victim = prepare_model(dataset, "linear", scale, random_state=seed)
     cells: Dict[Tuple[float, int], Tuple[float, float]] = {}
     for lam in lambdas:
         config = SurrogateConfig(power_loss_weight=lam, epochs=scale.surrogate_epochs)
@@ -159,47 +165,231 @@ def _run_row_seed(
                 outcome.surrogate_test_accuracy,
                 outcome.oracle_adversarial_accuracy,
             )
-    return victim.test_accuracy, cells
+    return cells
 
 
-def _run_row(
-    dataset_name: str,
-    output_mode: str,
-    scale: ExperimentScale,
-    *,
-    base_seed: int,
-    attack_strength: float,
-    runner: Optional["ParallelRunner"] = None,
-) -> Figure5Row:
-    """Run the full query-count × λ sweep for one Figure 5 row."""
+def _run_figure5_job(job: Job) -> RunResult:
+    """One (row, seed) job: the full λ x query-count sweep for one victim.
+
+    The victim is the linear-output single-layer network (Section IV uses
+    only the linear activation for the surrogate output loss); the scenario
+    contributes its dataset and any training-time defence.
+    """
+    scenario, scale, seed = job.scenario, job.scale, job.seed
+    output_mode = job.param("output_mode", "raw")
+    attack_strength = float(job.param("attack_strength", DEFAULT_ATTACK_STRENGTH))
+    if scenario.activation != "linear":
+        scenario = scenario.with_overrides(activation="linear")
+    dataset = prepare_dataset(scenario.dataset, scale, random_state=seed)
+    victim = scenario.build_victim(dataset, scale, random_state=seed)
+    cells = _sweep_row_cells(victim, dataset, output_mode, scale, seed, attack_strength)
+
     query_counts = tuple(int(q) for q in scale.query_counts)
     lambdas = tuple(float(l) for l in scale.power_loss_weights)
+    surrogate = np.array(
+        [[cells[(lam, qi)][0] for qi in range(len(query_counts))] for lam in lambdas]
+    )
+    adversarial = np.array(
+        [[cells[(lam, qi)][1] for qi in range(len(query_counts))] for lam in lambdas]
+    )
+    result = RunResult(
+        name=f"figure5/{scenario.dataset}/{output_mode}",
+        metadata={
+            "dataset": scenario.dataset,
+            "output_mode": output_mode,
+            "attack_strength": attack_strength,
+            "query_counts": list(query_counts),
+            "power_loss_weights": list(lambdas),
+        },
+    )
+    result.add_array("surrogate_accuracy", surrogate)
+    result.add_array("adversarial_accuracy", adversarial)
+    result.add_metric("oracle_clean_accuracy", victim.test_accuracy)
+    return result
+
+
+class Figure5Experiment(Experiment):
+    """Registered pipeline reproducing Figure 5."""
+
+    name = "figure5"
+    description = "Surrogate black-box attacks with the power loss term (Figure 5)"
+
+    def build_jobs(
+        self,
+        scale: ExperimentScale,
+        scenarios: Sequence[ScenarioSpec],
+        *,
+        base_seed: int = 0,
+        rows: Optional[Sequence[Tuple[str, str]]] = None,
+        attack_strength: float = DEFAULT_ATTACK_STRENGTH,
+    ) -> List[Job]:
+        """One job per (scenario, observation mode, seed).
+
+        The victim activation is always linear (Section IV), so scenarios
+        that differ *only* in activation are collapsed into one effective
+        scenario — with the four paper presets that reproduces the paper's
+        four rows (two datasets x two modes) exactly.  Scenarios with
+        distinct hardware/defence stacks are all kept, even on the same
+        dataset.  The ``rows`` option restricts/selects (dataset, mode)
+        pairs explicitly; each row's dataset is paired with the first
+        matching scenario (an ideal ad-hoc one when none matches).
+        """
+        effective: Dict[ScenarioSpec, ScenarioSpec] = {}
+        for scenario in scenarios:
+            linear = scenario.with_overrides(activation="linear")
+            # collapse scenarios identical up to name/description/activation
+            key = linear.with_overrides(name="effective", description="")
+            effective.setdefault(key, linear)
+        unique_scenarios = list(effective.values())
+        if rows is None:
+            pairs = [
+                (scenario, mode)
+                for scenario in unique_scenarios
+                for mode in OUTPUT_MODES
+            ]
+        else:
+            from repro.datasets import canonical_dataset_name
+
+            scenario_for_dataset: Dict[str, ScenarioSpec] = {}
+            for scenario in unique_scenarios:
+                scenario_for_dataset.setdefault(scenario.dataset, scenario)
+            pairs = []
+            for dataset_name, output_mode in rows:
+                dataset_name = canonical_dataset_name(dataset_name)
+                scenario = scenario_for_dataset.get(dataset_name)
+                if scenario is None:
+                    scenario = ScenarioSpec(
+                        name=f"adhoc/{dataset_name}-linear",
+                        dataset=dataset_name,
+                        activation="linear",
+                    )
+                pairs.append((scenario, output_mode))
+        seeds = seeds_for_runs(base_seed, scale.n_runs)
+        return [
+            Job(
+                experiment=self.name,
+                scenario=scenario,
+                scale=scale,
+                seed=seed,
+                run_index=run_index,
+                params=(
+                    ("output_mode", output_mode),
+                    ("attack_strength", float(attack_strength)),
+                ),
+            )
+            for scenario, output_mode in pairs
+            for run_index, seed in enumerate(seeds)
+        ]
+
+    run_job = staticmethod(_run_figure5_job)
+
+    def assemble(
+        self,
+        scale: ExperimentScale,
+        scenarios: Sequence[ScenarioSpec],
+        jobs: Sequence[Job],
+        results: Sequence[RunResult],
+    ) -> ExperimentResult:
+        assembled = ExperimentResult(
+            experiment=self.name,
+            scale_name=scale.name,
+            scenarios=[scenario.name for scenario in scenarios],
+        )
+        query_counts = tuple(int(q) for q in scale.query_counts)
+        lambdas = tuple(float(l) for l in scale.power_loss_weights)
+        # keyed by the scenario *object* so distinct specs sharing a name
+        # cannot merge into one row
+        rows: Dict[Tuple[ScenarioSpec, str], Dict[str, object]] = {}
+        for job, result in zip(jobs, results):
+            assembled.sweep.add(result)
+            key = (job.scenario, str(job.param("output_mode")))
+            if key not in rows:
+                rows[key] = {
+                    "scenario": job.scenario.name,
+                    "dataset": job.scenario.dataset,
+                    "output_mode": key[1],
+                    "query_counts": list(query_counts),
+                    "power_loss_weights": list(lambdas),
+                    "surrogate_accuracy": [],
+                    "adversarial_accuracy": [],
+                    "clean_accuracies": [],
+                }
+            rows[key]["surrogate_accuracy"].append(
+                result.arrays["surrogate_accuracy"].tolist()
+            )
+            rows[key]["adversarial_accuracy"].append(
+                result.arrays["adversarial_accuracy"].tolist()
+            )
+            rows[key]["clean_accuracies"].append(
+                result.metrics["oracle_clean_accuracy"]
+            )
+        assembled.summary["rows"] = list(rows.values())
+        return assembled
+
+    def format_result(self, result: ExperimentResult) -> str:
+        """Render every row as three text panels (scenario-keyed, collision-free)."""
+        sections = []
+        for entry in result.summary.get("rows", []):
+            row = _row_from_summary_entry(entry)
+            label = ROW_LABELS.get(
+                (row.dataset, row.output_mode), f"{row.dataset}/{row.output_mode}"
+            )
+            scenario = str(entry.get("scenario", ""))
+            if not scenario.startswith("paper/"):
+                label = f"{label} [{scenario}]"
+            sections.extend(_format_row(row, label))
+        return "\n\n".join(sections)
+
+
+register(Figure5Experiment)
+
+
+def _row_from_summary_entry(entry) -> Figure5Row:
+    """Rebuild one :class:`Figure5Row` from its summary-dict form."""
+    query_counts = tuple(int(q) for q in entry["query_counts"])
+    lambdas = tuple(float(l) for l in entry["power_loss_weights"])
     row = Figure5Row(
-        dataset=dataset_name,
-        output_mode=output_mode,
+        dataset=entry["dataset"],
+        output_mode=entry["output_mode"],
         query_counts=query_counts,
         power_loss_weights=lambdas,
         surrogate_accuracy={lam: [[] for _ in query_counts] for lam in lambdas},
         adversarial_accuracy={lam: [[] for _ in query_counts] for lam in lambdas},
     )
-    seeds = seeds_for_runs(base_seed, scale.n_runs)
-    args = [
-        (dataset_name, output_mode, scale, seed, attack_strength) for seed in seeds
-    ]
-    if runner is None:
-        seed_results = [_run_row_seed(*a) for a in args]
-    else:
-        seed_results = runner.map(_run_row_seed, args)
-    clean_accuracies = []
-    for clean_accuracy, cells in seed_results:
-        clean_accuracies.append(clean_accuracy)
-        for lam in lambdas:
+    for surrogate, adversarial in zip(
+        entry["surrogate_accuracy"], entry["adversarial_accuracy"]
+    ):
+        for lam_index, lam in enumerate(lambdas):
             for query_index in range(len(query_counts)):
-                surrogate, adversarial = cells[(lam, query_index)]
-                row.surrogate_accuracy[lam][query_index].append(surrogate)
-                row.adversarial_accuracy[lam][query_index].append(adversarial)
-    row.oracle_clean_accuracy = float(np.mean(clean_accuracies))
+                row.surrogate_accuracy[lam][query_index].append(
+                    float(surrogate[lam_index][query_index])
+                )
+                row.adversarial_accuracy[lam][query_index].append(
+                    float(adversarial[lam_index][query_index])
+                )
+    row.oracle_clean_accuracy = float(np.mean(entry["clean_accuracies"]))
     return row
+
+
+def _legacy_result(result: ExperimentResult) -> Figure5Result:
+    """Adapt an :class:`ExperimentResult` to the historical result type.
+
+    The legacy :class:`Figure5Result` is keyed by (dataset, output_mode), so
+    scenario selections where two scenarios share a dataset cannot be
+    represented — they raise rather than silently overwriting each other.
+    """
+    output = Figure5Result(scale_name=result.scale_name)
+    for entry in result.summary.get("rows", []):
+        row = _row_from_summary_entry(entry)
+        key = (row.dataset, row.output_mode)
+        if key in output.rows:
+            raise ValueError(
+                f"two scenarios map to the same legacy row {key}; the legacy "
+                "Figure5Result is (dataset, output_mode)-keyed — use "
+                "get_experiment('figure5').run(...) for scenario-keyed results"
+            )
+        output.rows[key] = row
+    return output
 
 
 def run_figure5(
@@ -207,10 +397,11 @@ def run_figure5(
     *,
     rows: Optional[Sequence[Tuple[str, str]]] = None,
     base_seed: int = 0,
-    attack_strength: float = 0.1,
+    attack_strength: float = DEFAULT_ATTACK_STRENGTH,
     runner: Optional["ParallelRunner"] = None,
+    scenarios=None,
 ) -> Figure5Result:
-    """Reproduce Figure 5.
+    """Reproduce Figure 5 (legacy-shaped result).
 
     Parameters
     ----------
@@ -222,23 +413,72 @@ def run_figure5(
         FGSM ε applied to the oracle (0.1 in the paper).
     runner:
         Optional :class:`~repro.experiments.runner.ParallelRunner`; the
-        independent seeds of each row are then executed on its worker pool
+        independent (row, seed) jobs are then executed on its worker pool
         (bit-identical results, wall-clock scales with cores).
+    scenarios:
+        Optional scenario selection (defaults to the paper configurations).
+        With explicit ``rows``, each row's dataset is paired with the first
+        scenario for that dataset (its hardware/defence stack applies), or
+        with an ideal ad-hoc scenario when none matches.
     """
     scale = resolve_scale(scale)
-    if rows is None:
+    if rows is None and scenarios is None:
         rows = DEFAULT_ROWS
-    result = Figure5Result(scale_name=scale.name)
-    for dataset_name, output_mode in rows:
-        result.rows[(dataset_name, output_mode)] = _run_row(
-            dataset_name,
-            output_mode,
-            scale,
-            base_seed=base_seed,
-            attack_strength=attack_strength,
-            runner=runner,
+    experiment = Figure5Experiment()
+    result = experiment.run(
+        scale,
+        scenarios=scenarios,
+        runner=runner,
+        base_seed=base_seed,
+        rows=rows,
+        attack_strength=attack_strength,
+    )
+    return _legacy_result(result)
+
+
+def _format_row(row: Figure5Row, label: str) -> List[str]:
+    """The three text panels (surrogate, adversarial, improvement) of one row."""
+    lambdas = row.power_loss_weights
+    surrogate_series = {
+        f"lambda={lam:g}": row.mean_surrogate_curve(lam) for lam in lambdas
+    }
+    adversarial_series = {
+        f"lambda={lam:g}": row.mean_adversarial_curve(lam) for lam in lambdas
+    }
+    sections = [
+        format_series(
+            "queries",
+            list(row.query_counts),
+            surrogate_series,
+            title=(
+                f"Figure 5 {label} — surrogate test accuracy "
+                f"({row.dataset}, {row.output_mode} outputs)"
+            ),
+        ),
+        format_series(
+            "queries",
+            list(row.query_counts),
+            adversarial_series,
+            title=(
+                f"Figure 5 {label} — oracle accuracy under transferred FGSM "
+                f"(clean accuracy {row.oracle_clean_accuracy:.3f})"
+            ),
+        ),
+    ]
+    improvement_lines = [
+        f"Figure 5 {label} — attack-efficacy improvement over lambda=0 ('*' = p<0.05)"
+    ]
+    for lam in lambdas:
+        if lam == 0.0:
+            continue
+        entries = row.degradation_improvement(lam)
+        rendered = "  ".join(
+            f"Q={int(e['n_queries'])}:{e['improvement']:+.3f}{'*' if e['significant'] else ' '}"
+            for e in entries
         )
-    return result
+        improvement_lines.append(f"  lambda={lam:g}: {rendered}")
+    sections.append("\n".join(improvement_lines))
+    return sections
 
 
 def format_figure5(result: Figure5Result) -> str:
@@ -246,45 +486,7 @@ def format_figure5(result: Figure5Result) -> str:
     sections = []
     for (dataset, output_mode), row in result.rows.items():
         label = ROW_LABELS.get((dataset, output_mode), f"{dataset}/{output_mode}")
-        lambdas = row.power_loss_weights
-        surrogate_series = {
-            f"lambda={lam:g}": row.mean_surrogate_curve(lam) for lam in lambdas
-        }
-        adversarial_series = {
-            f"lambda={lam:g}": row.mean_adversarial_curve(lam) for lam in lambdas
-        }
-        sections.append(
-            format_series(
-                "queries",
-                list(row.query_counts),
-                surrogate_series,
-                title=f"Figure 5 {label} — surrogate test accuracy ({dataset}, {output_mode} outputs)",
-            )
-        )
-        sections.append(
-            format_series(
-                "queries",
-                list(row.query_counts),
-                adversarial_series,
-                title=(
-                    f"Figure 5 {label} — oracle accuracy under transferred FGSM "
-                    f"(clean accuracy {row.oracle_clean_accuracy:.3f})"
-                ),
-            )
-        )
-        improvement_lines = [
-            f"Figure 5 {label} — attack-efficacy improvement over lambda=0 ('*' = p<0.05)"
-        ]
-        for lam in lambdas:
-            if lam == 0.0:
-                continue
-            entries = row.degradation_improvement(lam)
-            rendered = "  ".join(
-                f"Q={int(e['n_queries'])}:{e['improvement']:+.3f}{'*' if e['significant'] else ' '}"
-                for e in entries
-            )
-            improvement_lines.append(f"  lambda={lam:g}: {rendered}")
-        sections.append("\n".join(improvement_lines))
+        sections.extend(_format_row(row, label))
     return "\n\n".join(sections)
 
 

@@ -5,6 +5,19 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Sequence
 
 
+def has_non_paper_scenarios(entries: Iterable[Mapping], key: str = "scenario") -> bool:
+    """True when any entry names a scenario outside the ``paper/*`` presets.
+
+    Formatters use this to decide whether a Scenario column is needed to
+    disambiguate rows (paper rows are already unique per (dataset,
+    activation); variant scenarios are not).
+    """
+    return any(
+        str(entry.get(key, "")).split("/")[0] not in ("", "paper")
+        for entry in entries
+    )
+
+
 def format_table(
     headers: Sequence[str],
     rows: Iterable[Sequence],

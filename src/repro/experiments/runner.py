@@ -99,9 +99,12 @@ class ParallelRunner:
 
     Determinism: the runner only distributes calls whose seeds were derived
     up front, and collects results in submission order, so a parallel sweep
-    is bit-identical to its serial counterpart.  Process mode silently falls
-    back to serial execution (with a warning) when the callable or its
-    arguments cannot be pickled — e.g. closures over local state.
+    is bit-identical to its serial counterpart.  Process mode falls back to
+    serial execution (with a warning) when the callable or a representative
+    (first) argument tuple cannot be pickled — e.g. closures over local
+    state.  The probe is O(1) in the sweep size, so a heterogeneous
+    ``args_list`` whose *later* entries are unpicklable is the caller's
+    responsibility and surfaces as an error from the pool.
     """
 
     VALID_MODES = ("process", "thread", "serial")
@@ -151,8 +154,16 @@ class ParallelRunner:
 
     @staticmethod
     def _picklable(fn: Callable, args_list: Sequence[tuple]) -> bool:
+        """Probe process-pool compatibility cheaply.
+
+        Only ``fn`` and a single representative argument tuple are pickled —
+        serialising the whole ``args_list`` would cost O(total payload) per
+        sweep just to answer a yes/no question, and every job of a sweep
+        shares the same callable and argument types.
+        """
+        sample = args_list[0] if args_list else ()
         try:
-            pickle.dumps((fn, list(args_list)))
+            pickle.dumps((fn, sample))
         except Exception:
             return False
         return True

@@ -1,0 +1,378 @@
+"""Declarative scenario specifications for the unified experiment API.
+
+A :class:`ScenarioSpec` composes everything that defines one *cell* of an
+experiment sweep — dataset, victim activation, crossbar hardware (device,
+mapping scheme, converters, non-idealities), attacker instrument noise, and
+an optional defence — as a frozen, picklable value object.  Every experiment
+pipeline takes a list of scenarios and expands them into per-seed jobs, so a
+new study (a noisier device, a quantised ADC, a defended victim) is a new
+``ScenarioSpec`` rather than a new module.
+
+The four configurations the paper evaluates throughout
+(:data:`~repro.experiments.config.PAPER_CONFIGURATIONS`) are exposed as the
+``paper/*`` presets; additional named presets cover the non-ideality and
+defence studies the ROADMAP calls for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.crossbar.accelerator import CrossbarAccelerator
+from repro.crossbar.adc_dac import ADC, DAC
+from repro.crossbar.devices import IDEAL_DEVICE, PCM_DEVICE, RERAM_DEVICE, NVMDeviceModel
+from repro.crossbar.mapping import ConductanceMapping, MappingScheme
+from repro.crossbar.nonidealities import IDEAL_NONIDEALITIES, NonidealityConfig
+from repro.defenses.noise_injection import PowerNoiseDefense
+from repro.experiments.config import ExperimentScale, PAPER_CONFIGURATIONS
+from repro.nn.metrics import accuracy
+from repro.sidechannel.measurement import PowerMeasurement
+from repro.sidechannel.probing import ColumnNormProber
+
+_DEVICES: Dict[str, NVMDeviceModel] = {
+    "ideal": IDEAL_DEVICE,
+    "reram": RERAM_DEVICE,
+    "pcm": PCM_DEVICE,
+}
+
+_ACTIVATIONS = ("linear", "softmax")
+
+#: Defence identifiers accepted by :attr:`ScenarioSpec.defense`.
+_DEFENSES = ("norm-regularizer", "rebalance", "power-noise")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named experiment configuration: dataset x victim x hardware x defence.
+
+    Attributes
+    ----------
+    name:
+        Preset identifier (also recorded in result metadata).
+    dataset:
+        A :func:`repro.datasets.load_dataset` name (``"mnist-like"`` /
+        ``"cifar-like"`` and aliases).
+    activation:
+        Victim output activation, ``"linear"`` or ``"softmax"``.
+    device:
+        NVM device model: ``"ideal"``, ``"reram"`` or ``"pcm"``.
+    mapping_scheme:
+        Weight-to-conductance mapping, ``"min_power"`` (the paper's
+        assumption) or ``"balanced"`` (the hardware-level defence).
+    dac_bits / adc_bits:
+        Converter resolutions; ``None`` keeps the ideal continuous converters.
+    nonidealities:
+        Crossbar non-ideal effects (stuck cells, IR drop, drift, ...).
+    measurement_noise:
+        Relative std of the attacker's power-instrument noise.
+    defense:
+        ``None`` or one of ``"norm-regularizer"`` (train with the column-norm
+        variance penalty), ``"rebalance"`` (post-training projection towards
+        uniform column norms) and ``"power-noise"`` (randomised dummy draw at
+        inference time).
+    defense_strength:
+        Defence-specific knob: the regulariser beta, the rebalance blend in
+        ``[0, 1]``, or the dummy-current scale.
+    description:
+        One-line human-readable summary for listings.
+    """
+
+    name: str
+    dataset: str = "mnist-like"
+    activation: str = "softmax"
+    device: str = "ideal"
+    mapping_scheme: str = "min_power"
+    dac_bits: Optional[int] = None
+    adc_bits: Optional[int] = None
+    nonidealities: NonidealityConfig = IDEAL_NONIDEALITIES
+    measurement_noise: float = 0.0
+    defense: Optional[str] = None
+    defense_strength: float = 0.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        from repro.datasets import available_datasets, canonical_dataset_name
+
+        try:
+            canonical = canonical_dataset_name(self.dataset)
+        except KeyError:
+            raise ValueError(
+                f"unknown dataset {self.dataset!r}; available: {available_datasets()}"
+            ) from None
+        # normalise aliases ("mnist" -> "mnist-like") so scenario dedup,
+        # row matching, and result metadata all agree on one name
+        object.__setattr__(self, "dataset", canonical)
+        if self.activation not in _ACTIVATIONS:
+            raise ValueError(
+                f"activation must be one of {_ACTIVATIONS}, got {self.activation!r}"
+            )
+        if self.device not in _DEVICES:
+            raise ValueError(
+                f"device must be one of {sorted(_DEVICES)}, got {self.device!r}"
+            )
+        MappingScheme(self.mapping_scheme)  # raises ValueError on bad schemes
+        if self.defense is not None and self.defense not in _DEFENSES:
+            raise ValueError(
+                f"defense must be None or one of {_DEFENSES}, got {self.defense!r}"
+            )
+        if self.measurement_noise < 0:
+            raise ValueError("measurement_noise must be >= 0")
+        if self.defense_strength < 0:
+            raise ValueError("defense_strength must be >= 0")
+
+    # ------------------------------------------------------------- utilities
+
+    def with_overrides(self, **kwargs) -> "ScenarioSpec":
+        """Return a copy with selected fields replaced (re-validated)."""
+        return replace(self, **kwargs)
+
+    @property
+    def configuration(self) -> Tuple[str, str]:
+        """The (dataset, activation) pair, as used by the paper's tables."""
+        return (self.dataset, self.activation)
+
+    @property
+    def is_paper_ideal(self) -> bool:
+        """True when the hardware/defence stack matches the paper's ideal setup."""
+        return (
+            self.device == "ideal"
+            and self.mapping_scheme == MappingScheme.MIN_POWER.value
+            and self.dac_bits is None
+            and self.adc_bits is None
+            and self.nonidealities.is_ideal
+            and self.measurement_noise == 0.0
+            and self.defense is None
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation (for result metadata)."""
+        payload: Dict[str, object] = {}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if isinstance(value, NonidealityConfig):
+                value = {f.name: getattr(value, f.name) for f in fields(value)}
+            payload[spec_field.name] = value
+        return payload
+
+    # -------------------------------------------------------------- builders
+
+    def build_victim(self, dataset, scale: ExperimentScale, *, random_state: int):
+        """Train the victim model this scenario prescribes.
+
+        Returns a :class:`~repro.experiments.runner.TrainedModel`.  Training-
+        time defences are applied here; hardware knobs only affect
+        :meth:`build_accelerator`.
+        """
+        from repro.experiments.runner import TrainedModel, prepare_model
+
+        if self.defense == "norm-regularizer":
+            from repro.defenses.norm_balancing import (
+                ColumnNormRegularizer,
+                train_with_norm_balancing,
+            )
+
+            network = train_with_norm_balancing(
+                dataset,
+                output=self.activation,
+                regularizer=ColumnNormRegularizer(self.defense_strength),
+                epochs=scale.train_epochs,
+                random_state=random_state,
+            )
+            return TrainedModel(
+                network=network,
+                dataset=dataset,
+                output=self.activation,
+                test_accuracy=accuracy(
+                    network.predict(dataset.test_inputs), dataset.test_targets
+                ),
+                train_accuracy=accuracy(
+                    network.predict(dataset.train_inputs), dataset.train_targets
+                ),
+            )
+
+        model = prepare_model(dataset, self.activation, scale, random_state=random_state)
+        if self.defense == "rebalance":
+            from repro.defenses.norm_balancing import rebalance_column_norms
+
+            blend = min(self.defense_strength, 1.0)
+            rebalance_column_norms(model.network, blend=blend)
+            model.test_accuracy = accuracy(
+                model.network.predict(dataset.test_inputs), dataset.test_targets
+            )
+            model.train_accuracy = accuracy(
+                model.network.predict(dataset.train_inputs), dataset.train_targets
+            )
+        return model
+
+    def build_accelerator(self, network, *, random_state: int):
+        """Map a trained network onto the crossbar hardware this scenario describes.
+
+        Returns the attack target: a :class:`CrossbarAccelerator`, wrapped in a
+        :class:`PowerNoiseDefense` when the inference-time defence is enabled.
+        The paper-ideal scenario passes all-``None`` component arguments so the
+        accelerator construction is byte-identical to the legacy pipelines.
+        """
+        mapping = None
+        if self.device != "ideal" or self.mapping_scheme != MappingScheme.MIN_POWER.value:
+            mapping = ConductanceMapping(
+                device=_DEVICES[self.device], scheme=MappingScheme(self.mapping_scheme)
+            )
+        nonidealities = None if self.nonidealities.is_ideal else self.nonidealities
+        dac = DAC(self.dac_bits) if self.dac_bits is not None else None
+        adc = ADC(self.adc_bits) if self.adc_bits is not None else None
+        accelerator = CrossbarAccelerator(
+            network,
+            mapping=mapping,
+            nonidealities=nonidealities,
+            dac=dac,
+            adc=adc,
+            random_state=random_state,
+        )
+        if self.defense == "power-noise":
+            return PowerNoiseDefense(
+                accelerator,
+                dummy_current_scale=self.defense_strength,
+                random_state=np.random.default_rng([int(random_state) & 0xFFFFFFFF, 0xD3F]),
+            )
+        return accelerator
+
+    def build_prober(self, target, n_features: int, *, random_state: int) -> ColumnNormProber:
+        """The attacker's probing stack against ``target``.
+
+        The paper-ideal scenario constructs ``PowerMeasurement(target)`` with
+        default arguments, matching the legacy pipelines exactly.
+        """
+        if self.measurement_noise == 0.0:
+            measurement = PowerMeasurement(target)
+        else:
+            measurement = PowerMeasurement(
+                target,
+                noise_std=self.measurement_noise,
+                random_state=np.random.default_rng(
+                    [int(random_state) & 0xFFFFFFFF, 0xA7C]
+                ),
+            )
+        return ColumnNormProber(measurement, n_features)
+
+
+def _paper_scenario(dataset: str, activation: str) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"paper/{dataset.split('-')[0]}-{activation}",
+        dataset=dataset,
+        activation=activation,
+        description=f"Paper configuration: ideal crossbar, {dataset}, {activation} output",
+    )
+
+
+#: The paper's four (dataset, activation) cells as scenario presets, in the
+#: order the tables report them.
+PAPER_SCENARIOS: Tuple[ScenarioSpec, ...] = tuple(
+    _paper_scenario(dataset, activation) for dataset, activation in PAPER_CONFIGURATIONS
+)
+
+
+#: All named scenario presets, keyed by :attr:`ScenarioSpec.name`.
+SCENARIOS: Dict[str, ScenarioSpec] = {spec.name: spec for spec in PAPER_SCENARIOS}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add a named scenario preset (duplicate names are rejected)."""
+    if spec.name in SCENARIOS:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    SCENARIOS[spec.name] = spec
+    return spec
+
+
+register_scenario(
+    ScenarioSpec(
+        name="noisy-device",
+        dataset="mnist-like",
+        activation="softmax",
+        device="reram",
+        description="ReRAM device with programming/read noise on an MNIST softmax victim",
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="quantized-adc",
+        dataset="mnist-like",
+        activation="softmax",
+        dac_bits=8,
+        adc_bits=6,
+        description="8-bit DAC / 6-bit ADC converters between the digital and analogue domains",
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="norm-balanced-defense",
+        dataset="mnist-like",
+        activation="softmax",
+        defense="norm-regularizer",
+        defense_strength=0.05,
+        description="Victim trained with the column-norm variance penalty (training-time defence)",
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="high-read-noise",
+        dataset="mnist-like",
+        activation="softmax",
+        nonidealities=NonidealityConfig(current_measurement_noise=0.10),
+        measurement_noise=0.05,
+        description="10% current-measurement noise on the rail plus 5% attacker instrument noise",
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="power-noise-defense",
+        dataset="mnist-like",
+        activation="softmax",
+        defense="power-noise",
+        defense_strength=0.5,
+        description="Randomised dummy current draw at inference time (inference-time defence)",
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="balanced-mapping",
+        dataset="mnist-like",
+        activation="softmax",
+        mapping_scheme="balanced",
+        description="Balanced conductance mapping (hardware-level defence against the side channel)",
+    )
+)
+
+
+def get_scenario(name) -> ScenarioSpec:
+    """Look up a scenario preset by name (instances pass through)."""
+    if isinstance(name, ScenarioSpec):
+        return name
+    key = str(name)
+    if key not in SCENARIOS:
+        raise KeyError(f"unknown scenario {name!r}; available: {list_scenarios()}")
+    return SCENARIOS[key]
+
+
+def list_scenarios() -> List[str]:
+    """Names of all registered scenario presets (paper presets first)."""
+    paper = [spec.name for spec in PAPER_SCENARIOS]
+    extra = sorted(name for name in SCENARIOS if name not in paper)
+    return paper + extra
+
+
+def resolve_scenarios(scenarios=None) -> Tuple[ScenarioSpec, ...]:
+    """Normalise a scenario selection to a tuple of :class:`ScenarioSpec`.
+
+    ``None`` selects the four paper configurations; otherwise each entry may
+    be a preset name or a :class:`ScenarioSpec` instance.
+    """
+    if scenarios is None:
+        return PAPER_SCENARIOS
+    if isinstance(scenarios, (str, ScenarioSpec)):
+        scenarios = [scenarios]
+    return tuple(get_scenario(entry) for entry in scenarios)

@@ -1,32 +1,41 @@
 """Table I — correlation between loss sensitivity and weight-column 1-norms.
 
-For each of the four dataset/activation configurations the paper reports, on
-the train and test splits, the "Mean Correlation" (per-sample correlation of
-``|∂L/∂u|`` with the column 1-norms, averaged over samples) and the
-"Correlation of Mean" (correlation of the set-averaged sensitivity with the
-column 1-norms), averaged over independent runs.
+For each scenario (by default the paper's four dataset/activation
+configurations) the pipeline reports, on the train and test splits, the
+"Mean Correlation" (per-sample correlation of ``|∂L/∂u|`` with the column
+1-norms, averaged over samples) and the "Correlation of Mean" (correlation of
+the set-averaged sensitivity with the column 1-norms), averaged over
+independent runs.
 
 The 1-norms used here are obtained the way the attacker would obtain them: by
 probing the power side channel of the simulated crossbar accelerator
 (:class:`~repro.sidechannel.probing.ColumnNormProber`), which for the ideal
 crossbar equals the true 1-norms up to a positive scale factor (correlation is
 invariant to that scale).
+
+The pipeline is a registered :class:`~repro.experiments.base.Experiment`
+(``"table1"``): each scenario x seed cell is one picklable job, so the whole
+sweep runs on a :class:`~repro.experiments.runner.ParallelRunner` process
+pool with results bit-identical to the serial path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
-
-import numpy as np
+from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.correlation import sensitivity_norm_correlations
-from repro.crossbar.accelerator import CrossbarAccelerator
-from repro.experiments.config import PAPER_CONFIGURATIONS, ExperimentScale, resolve_scale
-from repro.experiments.reporting import format_table
-from repro.experiments.runner import prepare_dataset, prepare_model, run_multi_seed
-from repro.sidechannel.measurement import PowerMeasurement
-from repro.sidechannel.probing import ColumnNormProber
+from repro.experiments.base import (
+    Experiment,
+    ExperimentResult,
+    Job,
+    group_results_by_scenario,
+)
+from repro.experiments.config import ExperimentScale
+from repro.experiments.registry import register
+from repro.experiments.reporting import format_table, has_non_paper_scenarios
+from repro.experiments.runner import prepare_dataset
+from repro.experiments.scenario import ScenarioSpec
 from repro.utils.results import RunResult, SweepResult
 
 #: The values printed in the paper's Table I, for side-by-side comparison.
@@ -81,20 +90,19 @@ class Table1Result:
         raise KeyError(f"no row for ({dataset}, {activation})")
 
 
-def _single_run(
-    dataset_name: str, activation: str, scale: ExperimentScale, seed: int
-) -> RunResult:
-    """Train one victim and compute both correlation statistics."""
-    dataset = prepare_dataset(dataset_name, scale, random_state=seed)
-    model = prepare_model(dataset, activation, scale, random_state=seed)
+def _run_table1_job(job: Job) -> RunResult:
+    """Train one victim under ``job.scenario`` and compute both correlations."""
+    scenario, scale, seed = job.scenario, job.scale, job.seed
+    dataset = prepare_dataset(scenario.dataset, scale, random_state=seed)
+    model = scenario.build_victim(dataset, scale, random_state=seed)
 
-    accelerator = CrossbarAccelerator(model.network, random_state=seed)
-    prober = ColumnNormProber(PowerMeasurement(accelerator), dataset.n_features)
+    target = scenario.build_accelerator(model.network, random_state=seed)
+    prober = scenario.build_prober(target, dataset.n_features, random_state=seed)
     leaked_norms = prober.probe_all().column_sums
 
     result = RunResult(
-        name=f"table1/{dataset_name}/{activation}",
-        metadata={"dataset": dataset_name, "activation": activation},
+        name=f"table1/{scenario.dataset}/{scenario.activation}",
+        metadata={"dataset": scenario.dataset, "activation": scenario.activation},
     )
     for split in ("train", "test"):
         inputs = dataset.train_inputs if split == "train" else dataset.test_inputs
@@ -108,31 +116,113 @@ def _single_run(
     return result
 
 
-def run_table1(scale="bench", *, base_seed: int = 0) -> Table1Result:
-    """Reproduce Table I at the requested scale."""
-    scale = resolve_scale(scale)
-    output = Table1Result(scale_name=scale.name)
-    for dataset_name, activation in PAPER_CONFIGURATIONS:
-        sweep = run_multi_seed(
-            f"table1/{dataset_name}/{activation}",
-            lambda run_index, seed: _single_run(dataset_name, activation, scale, seed),
-            n_runs=scale.n_runs,
-            base_seed=base_seed,
+class Table1Experiment(Experiment):
+    """Registered pipeline reproducing the paper's Table I.
+
+    Jobs are the default scenario x seed grid from the :class:`Experiment`
+    base class.
+    """
+
+    name = "table1"
+    description = "Sensitivity vs leaked column-1-norm correlations (Table I)"
+
+    run_job = staticmethod(_run_table1_job)
+
+    def assemble(
+        self,
+        scale: ExperimentScale,
+        scenarios: Sequence[ScenarioSpec],
+        jobs: Sequence[Job],
+        results: Sequence[RunResult],
+    ) -> ExperimentResult:
+        assembled = ExperimentResult(
+            experiment=self.name,
+            scale_name=scale.name,
+            scenarios=[scenario.name for scenario in scenarios],
         )
-        row: Dict[str, object] = {"dataset": dataset_name, "activation": activation}
-        for key in METRIC_KEYS:
-            row[key] = sweep.mean_metric(key)
-            row[f"{key}_std"] = sweep.std_metric(key)
-        row["paper"] = PAPER_TABLE1[(dataset_name, activation)]
-        row["victim_test_accuracy"] = sweep.mean_metric("victim_test_accuracy")
-        output.rows.append(row)
-        output.sweeps[(dataset_name, activation)] = sweep
+        rows: List[Dict[str, object]] = []
+        for scenario, runs in group_results_by_scenario(jobs, results):
+            sweep = SweepResult(
+                name=f"table1/{scenario.dataset}/{scenario.activation}",
+                metadata={"n_runs": scale.n_runs, "scenario": scenario.name},
+            )
+            for result in runs:
+                sweep.add(result)
+                assembled.sweep.add(result)
+            row: Dict[str, object] = {
+                "scenario": scenario.name,
+                "dataset": scenario.dataset,
+                "activation": scenario.activation,
+            }
+            for key in METRIC_KEYS:
+                row[key] = sweep.mean_metric(key)
+                row[f"{key}_std"] = sweep.std_metric(key)
+            if scenario.is_paper_ideal and scenario.configuration in PAPER_TABLE1:
+                row["paper"] = PAPER_TABLE1[scenario.configuration]
+            row["victim_test_accuracy"] = sweep.mean_metric("victim_test_accuracy")
+            rows.append(row)
+        assembled.summary["rows"] = rows
+        return assembled
+
+    def format_result(self, result: ExperimentResult) -> str:
+        """Render from the scenario-keyed summary rows (collision-free).
+
+        The legacy adapter is deliberately bypassed: it raises when two
+        scenarios share a (dataset, activation) pair, which is a perfectly
+        valid selection for the scenario-keyed result being formatted here.
+        """
+        rows = [dict(row) for row in result.summary.get("rows", [])]
+        return format_table1(Table1Result(scale_name=result.scale_name, rows=rows))
+
+
+register(Table1Experiment)
+
+
+def _legacy_result(result: ExperimentResult) -> Table1Result:
+    """Adapt an :class:`ExperimentResult` to the historical result type.
+
+    The legacy per-configuration ``sweeps`` are keyed by (dataset,
+    activation); scenario selections where two scenarios share that pair
+    would merge their runs (corrupting per-configuration statistics), so
+    they raise instead — the scenario-keyed ``rows`` remain exact either way.
+    """
+    output = Table1Result(scale_name=result.scale_name)
+    output.rows = [dict(row) for row in result.summary.get("rows", [])]
+    scenario_for_key: Dict[Tuple[str, str], str] = {}
+    for run in result.sweep:
+        key = (run.metadata.get("dataset"), run.metadata.get("activation"))
+        scenario = str(run.metadata.get("scenario"))
+        if scenario_for_key.setdefault(key, scenario) != scenario:
+            raise ValueError(
+                f"two scenarios map to the same legacy configuration {key}; "
+                "use get_experiment('table1').run(...) for scenario-keyed results"
+            )
+        if key not in output.sweeps:
+            output.sweeps[key] = SweepResult(name=run.name)
+        output.sweeps[key].add(run)
     return output
+
+
+def run_table1(
+    scale="bench", *, base_seed: int = 0, runner=None, scenarios=None
+) -> Table1Result:
+    """Reproduce Table I at the requested scale (legacy-shaped result).
+
+    Thin wrapper over the registered :class:`Table1Experiment`; passing a
+    :class:`~repro.experiments.runner.ParallelRunner` executes the
+    scenario x seed jobs on its worker pool with bit-identical results.
+    """
+    experiment = Table1Experiment()
+    result = experiment.run(
+        scale, scenarios=scenarios, runner=runner, base_seed=base_seed
+    )
+    return _legacy_result(result)
 
 
 def format_table1(result: Table1Result) -> str:
     """Render the reproduction next to the paper's reported values."""
-    headers = [
+    with_scenario = has_non_paper_scenarios(result.rows)
+    headers = (["Scenario"] if with_scenario else []) + [
         "Dataset",
         "Activation",
         "MeanCorr(train)",
@@ -144,17 +234,18 @@ def format_table1(result: Table1Result) -> str:
     ]
     rows = []
     for row in result.rows:
-        paper = row["paper"]
+        paper = row.get("paper")
         rows.append(
-            [
+            ([row.get("scenario", "-")] if with_scenario else [])
+            + [
                 row["dataset"],
                 row["activation"],
                 float(row["mean_correlation_train"]),
                 float(row["mean_correlation_test"]),
                 float(row["correlation_of_mean_train"]),
                 float(row["correlation_of_mean_test"]),
-                float(paper["mean_correlation_test"]),
-                float(paper["correlation_of_mean_test"]),
+                float(paper["mean_correlation_test"]) if paper else "-",
+                float(paper["correlation_of_mean_test"]) if paper else "-",
             ]
         )
     return format_table(
