@@ -5,9 +5,19 @@ Reads ``BENCH_engine.json`` (written by the ``benchmarks/`` suite) and exits
 non-zero when any gate fails::
 
     python scripts/check_bench_regression.py [--path BENCH_engine.json]
+                                             [--tolerance 0.05]
+                                             [--json-out report.json]
                                              [--min-speedup 1.0]
                                              [--min-peak-speedup 2.0]
                                              [--min-probing-speedup 1.0]
+                                             [--max-sharded-ratio 1.2]
+
+``--tolerance`` applies a uniform fractional slack to every threshold
+(speedup floors become ``floor * (1 - t)``, ratio ceilings become
+``ceiling * (1 + t)``), so CI on noisy shared runners can gate with one knob
+instead of tuning per-threshold flags.  ``--json-out`` writes a
+machine-readable report (pass/fail, failures, effective thresholds) for CI
+artifacts.  Exit codes: 0 = pass, 1 = regression, 2 = missing input.
 
 Gated sections:
 
@@ -22,6 +32,9 @@ Gated sections:
 * ``bench_experiments`` — the unified registry pipeline: the process-pool
   sweep must be bit-identical to the serial sweep and both wall times must be
   recorded.
+* ``bench_sharding`` — multi-tile sharded forward must stay within
+  ``--max-sharded-ratio`` (default 1.2x) of the single-tile per-element
+  throughput for every recorded geometry.
 
 Sections other than ``engine`` are only checked when present, so a partial
 benchmark run stays usable; ``engine`` is always required.
@@ -36,19 +49,60 @@ from pathlib import Path
 
 DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
+#: Default gate thresholds (before tolerance is applied).
+DEFAULT_THRESHOLDS = {
+    "min_speedup": 1.0,
+    "min_peak_speedup": 2.0,
+    "min_probing_speedup": 1.0,
+    "max_sharded_ratio": 1.2,
+}
+
+
+def effective_thresholds(thresholds: dict, tolerance: float) -> dict:
+    """Apply the uniform fractional slack to every gate threshold.
+
+    Speedup floors (``min_*``) are relaxed downwards, ratio ceilings
+    (``max_*``) upwards.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    effective = {}
+    for name, value in thresholds.items():
+        if name.startswith("min_"):
+            effective[name] = value * (1.0 - tolerance)
+        else:
+            effective[name] = value * (1.0 + tolerance)
+    return effective
+
 
 def check_results(
     results: dict,
     *,
-    min_speedup: float = 1.0,
-    min_peak_speedup: float = 2.0,
-    min_probing_speedup: float = 1.0,
+    tolerance: float = 0.0,
+    **overrides,
 ) -> list[str]:
-    """Return a list of human-readable regression messages (empty = pass)."""
+    """Return a list of human-readable regression messages (empty = pass).
+
+    ``overrides`` may replace any :data:`DEFAULT_THRESHOLDS` entry; the
+    ``tolerance`` slack is applied on top of the (possibly overridden)
+    thresholds.
+    """
+    unknown = set(overrides) - set(DEFAULT_THRESHOLDS)
+    if unknown:
+        raise TypeError(f"unknown threshold overrides: {sorted(unknown)}")
+    thresholds = effective_thresholds(
+        {**DEFAULT_THRESHOLDS, **overrides}, tolerance
+    )
+    min_speedup = thresholds["min_speedup"]
+    min_peak_speedup = thresholds["min_peak_speedup"]
+    min_probing_speedup = thresholds["min_probing_speedup"]
+    max_sharded_ratio = thresholds["max_sharded_ratio"]
+
     failures: list[str] = []
     failures.extend(_check_probing_section(results, min_probing_speedup))
     failures.extend(_check_figure5_sections(results))
     failures.extend(_check_experiments_section(results))
+    failures.extend(_check_sharding_section(results, max_sharded_ratio))
     engine = results.get("engine")
     if engine is None:
         return failures + [
@@ -75,7 +129,7 @@ def check_results(
     probing = engine.get("probing")
     if probing is not None and probing["speedup"] < min_speedup:
         failures.append(
-            f"batched probing is slower than the per-column reference mode "
+            "batched probing is slower than the per-column reference mode "
             f"(speedup {probing['speedup']:.2f} < {min_speedup:.2f})"
         )
 
@@ -100,7 +154,7 @@ def _check_probing_section(results: dict, min_probing_speedup: float) -> list[st
     speedup = probing.get("speedup")
     if speedup is not None and speedup < min_probing_speedup:
         failures.append(
-            f"probing workload: batched prober is slower than the per-column "
+            "probing workload: batched prober is slower than the per-column "
             f"reference mode (speedup {speedup:.2f} < {min_probing_speedup:.2f})"
         )
     return failures
@@ -144,24 +198,100 @@ def _check_experiments_section(results: dict) -> list[str]:
     return failures
 
 
+def _check_sharding_section(results: dict, max_sharded_ratio: float) -> list[str]:
+    """Gate the multi-tile timings recorded by benchmarks/bench_sharding.py."""
+    payload = results.get("bench_sharding")
+    if payload is None:
+        return []
+    failures: list[str] = []
+    rows = payload.get("geometries", [])
+    if not rows:
+        failures.append("bench_sharding recorded no geometries")
+    for row in rows:
+        for key in ("single_s", "sharded_s"):
+            value = row.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                failures.append(
+                    f"bench_sharding {row.get('geometry')!r} has no positive "
+                    f"{key!r} wall time"
+                )
+        ratio = row.get("ratio")
+        if isinstance(ratio, (int, float)) and ratio > max_sharded_ratio:
+            failures.append(
+                f"sharded forward ({row.get('geometry')!r}) is {ratio:.2f}x the "
+                f"single-tile per-element time (gate {max_sharded_ratio:.2f}x)"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--path", type=Path, default=DEFAULT_PATH)
-    parser.add_argument("--min-speedup", type=float, default=1.0)
-    parser.add_argument("--min-peak-speedup", type=float, default=2.0)
-    parser.add_argument("--min-probing-speedup", type=float, default=1.0)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        help="uniform fractional slack applied to every threshold "
+        "(0.05 relaxes speedup floors by 5%% and ratio ceilings by 5%%)",
+    )
+    parser.add_argument(
+        "--json-out",
+        type=Path,
+        default=None,
+        help="write a machine-readable pass/fail report to this path",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=DEFAULT_THRESHOLDS["min_speedup"]
+    )
+    parser.add_argument(
+        "--min-peak-speedup",
+        type=float,
+        default=DEFAULT_THRESHOLDS["min_peak_speedup"],
+    )
+    parser.add_argument(
+        "--min-probing-speedup",
+        type=float,
+        default=DEFAULT_THRESHOLDS["min_probing_speedup"],
+    )
+    parser.add_argument(
+        "--max-sharded-ratio",
+        type=float,
+        default=DEFAULT_THRESHOLDS["max_sharded_ratio"],
+    )
     args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error("--tolerance must be >= 0")
+
+    overrides = {
+        "min_speedup": args.min_speedup,
+        "min_peak_speedup": args.min_peak_speedup,
+        "min_probing_speedup": args.min_probing_speedup,
+        "max_sharded_ratio": args.max_sharded_ratio,
+    }
 
     if not args.path.exists():
         print(f"error: {args.path} does not exist — run the engine benchmark first")
+        if args.json_out is not None:
+            _write_report(
+                args.json_out,
+                passed=False,
+                failures=[f"benchmark file {args.path} does not exist"],
+                tolerance=args.tolerance,
+                thresholds=effective_thresholds(overrides, args.tolerance),
+                sections=[],
+            )
         return 2
     results = json.loads(args.path.read_text())
-    failures = check_results(
-        results,
-        min_speedup=args.min_speedup,
-        min_peak_speedup=args.min_peak_speedup,
-        min_probing_speedup=args.min_probing_speedup,
-    )
+    failures = check_results(results, tolerance=args.tolerance, **overrides)
+    if args.json_out is not None:
+        _write_report(
+            args.json_out,
+            passed=not failures,
+            failures=failures,
+            tolerance=args.tolerance,
+            thresholds=effective_thresholds(overrides, args.tolerance),
+            sections=sorted(results),
+        )
     if failures:
         print("bench regression check FAILED:")
         for failure in failures:
@@ -169,6 +299,25 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print("bench regression check passed")
     return 0
+
+
+def _write_report(path, *, passed, failures, tolerance, thresholds, sections):
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(
+            {
+                "passed": passed,
+                "failures": failures,
+                "tolerance": tolerance,
+                "effective_thresholds": thresholds,
+                "checked_sections": sections,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
 
 
 if __name__ == "__main__":

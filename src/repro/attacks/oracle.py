@@ -58,6 +58,12 @@ class OracleResponse:
         cannot observe power.
     output_mode:
         ``"raw"`` or ``"label"``.
+    per_tile_power:
+        ``(Q, n_physical_tiles)`` per-rail current measurements when the
+        attacker can probe each crossbar tile individually
+        (``expose_per_tile_power=True`` against hardware targets); the tile
+        labels are recorded under ``metadata["tile_labels"]``.  ``None``
+        otherwise.
     """
 
     queries: np.ndarray
@@ -65,6 +71,7 @@ class OracleResponse:
     labels: np.ndarray
     power: Optional[np.ndarray]
     output_mode: str
+    per_tile_power: Optional[np.ndarray] = None
     metadata: dict = field(default_factory=dict)
 
     @property
@@ -89,6 +96,11 @@ class Oracle:
         argmax label.
     expose_power:
         Whether queries also return the power measurement.
+    expose_per_tile_power:
+        Whether queries additionally reveal each physical tile's supply
+        current (the paper's hardware model: every crossbar tile's rail is
+        individually observable).  Only hardware targets have tiles; software
+        targets ignore this flag.  Requires ``expose_power``.
     power_noise_std:
         Relative measurement noise added to the power observations.
     random_state:
@@ -103,6 +115,7 @@ class Oracle:
         *,
         output_mode: str = "raw",
         expose_power: bool = True,
+        expose_per_tile_power: bool = False,
         power_noise_std: float = 0.0,
         random_state: RandomState = None,
     ):
@@ -111,9 +124,12 @@ class Oracle:
             raise ValueError(
                 f"output_mode must be one of {self.VALID_MODES}, got {output_mode!r}"
             )
+        if expose_per_tile_power and not expose_power:
+            raise ValueError("expose_per_tile_power requires expose_power")
         self.target = target
         self.output_mode = output_mode
         self.expose_power = bool(expose_power)
+        self.expose_per_tile_power = bool(expose_per_tile_power)
         self.power_noise_std = check_non_negative(power_noise_std, "power_noise_std")
         self._rng = as_rng(random_state)
         self._queries_used = 0
@@ -169,10 +185,17 @@ class Oracle:
         inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
         self._queries_used += len(inputs)
 
+        per_tile_power = None
+        metadata = {"expose_power": self.expose_power}
         if self.expose_power and isinstance(self.target, CrossbarAccelerator):
             raw_outputs, report = self.target.forward_with_power(inputs)
             raw_outputs = np.atleast_2d(raw_outputs)
             power = self._apply_power_noise(np.atleast_1d(report.total_current))
+            if self.expose_per_tile_power:
+                per_tile_power = self._apply_power_noise(
+                    np.atleast_2d(report.per_tile_current)
+                )
+                metadata["tile_labels"] = report.tile_labels
         else:
             raw_outputs = self._forward(inputs)
             power = self._power(inputs) if self.expose_power else None
@@ -188,7 +211,8 @@ class Oracle:
             labels=labels,
             power=power,
             output_mode=self.output_mode,
-            metadata={"expose_power": self.expose_power},
+            per_tile_power=per_tile_power,
+            metadata=metadata,
         )
 
     def predict_labels(self, inputs: np.ndarray) -> np.ndarray:

@@ -11,11 +11,16 @@ the paper's stated future work.
 
 from repro.crossbar.devices import NVMDeviceModel, RERAM_DEVICE, PCM_DEVICE, IDEAL_DEVICE
 from repro.crossbar.nonidealities import NonidealityConfig
-from repro.crossbar.mapping import ConductanceMapping, MappingScheme
+from repro.crossbar.mapping import (
+    ConductanceMapping,
+    MappingScheme,
+    ShardingSpec,
+    reduce_partial_sums,
+)
 from repro.crossbar.array import CrossbarArray
 from repro.crossbar.adc_dac import DAC, ADC
 from repro.crossbar.power import PowerModel, PowerReport
-from repro.crossbar.tile import CrossbarTile
+from repro.crossbar.tile import CrossbarTile, ShardedTileGroup, build_tile
 from repro.crossbar.accelerator import CrossbarAccelerator
 
 __all__ = [
@@ -26,11 +31,15 @@ __all__ = [
     "NonidealityConfig",
     "ConductanceMapping",
     "MappingScheme",
+    "ShardingSpec",
+    "reduce_partial_sums",
     "CrossbarArray",
     "DAC",
     "ADC",
     "PowerModel",
     "PowerReport",
     "CrossbarTile",
+    "ShardedTileGroup",
+    "build_tile",
     "CrossbarAccelerator",
 ]

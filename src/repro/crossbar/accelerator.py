@@ -6,30 +6,63 @@ classification outputs, raw output vectors, and the power side channel.
 
 The compute spine is a fused single-pass engine.  :meth:`forward_with_power`
 streams a batch through every tile exactly once, collecting the layer
-activations *and* each tile's supply current from the same conductance
-realization (via :meth:`CrossbarTile.forward_with_power_batch`), so the
-functional outputs and the power trace an attacker observes are physically
-consistent and the accelerator is traversed once per batch instead of twice.
-:meth:`power_trace` and :meth:`total_current` are thin wrappers over that
-fused path; :meth:`forward` streams batches through the tiles in 2-D form
-without per-layer re-wrapping.  On deterministic (read-noise-free) arrays
-each tile additionally reuses its cached effective state, so repeated queries
-cost one matrix product per tile and nothing else.
+activations *and* each physical tile's supply current from the same
+conductance realization (via :meth:`CrossbarTile.forward_with_power_shards`),
+so the functional outputs and the power trace an attacker observes are
+physically consistent and the accelerator is traversed once per batch instead
+of twice.  :meth:`power_trace` and :meth:`total_current` are thin wrappers
+over that fused path; :meth:`forward` streams batches through the tiles in
+2-D form without per-layer re-wrapping.  On deterministic (read-noise-free)
+arrays each tile additionally reuses its cached effective state, so repeated
+queries cost one matrix product per tile and nothing else.
+
+Multi-tile sharding: passing a
+:class:`~repro.crossbar.mapping.ShardingSpec` (one spec for every layer, or a
+per-layer sequence) places layers on
+:class:`~repro.crossbar.tile.ShardedTileGroup` grids instead of single tiles.
+The :class:`~repro.crossbar.power.PowerReport` then carries one current
+column per *physical* tile — labelled ``layer<i>/r<r>c<c>`` — so tile-count
+and placement scenarios from the paper's hardware discussion are observable,
+while the summed total current is the partial-sum reduction the digital
+backend would perform.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.crossbar.adc_dac import ADC, DAC
-from repro.crossbar.mapping import ConductanceMapping
+from repro.crossbar.mapping import ConductanceMapping, ShardingSpec
 from repro.crossbar.nonidealities import NonidealityConfig
 from repro.crossbar.power import PowerModel, PowerReport
-from repro.crossbar.tile import CrossbarTile
+from repro.crossbar.tile import CrossbarTile, build_tile
 from repro.nn.network import Sequential
 from repro.utils.rng import RandomState, spawn_rngs
+
+
+def _resolve_layer_sharding(
+    sharding: Union[None, ShardingSpec, Sequence[Optional[ShardingSpec]]],
+    n_layers: int,
+) -> List[Optional[ShardingSpec]]:
+    """Normalise the sharding argument to one optional spec per layer."""
+    if sharding is None:
+        return [None] * n_layers
+    if isinstance(sharding, ShardingSpec):
+        return [sharding] * n_layers
+    specs = list(sharding)
+    if len(specs) != n_layers:
+        raise ValueError(
+            f"per-layer sharding needs {n_layers} entries, got {len(specs)}"
+        )
+    for spec in specs:
+        if spec is not None and not isinstance(spec, ShardingSpec):
+            raise TypeError(
+                f"sharding entries must be ShardingSpec or None, "
+                f"got {type(spec).__name__}"
+            )
+    return specs
 
 
 class CrossbarAccelerator:
@@ -47,6 +80,13 @@ class CrossbarAccelerator:
         Converter models shared by all tiles.
     power_model:
         Converts currents into power/energy reports.
+    sharding:
+        ``None`` (one tile per layer, the historical placement), a single
+        :class:`~repro.crossbar.mapping.ShardingSpec` applied to every layer,
+        or a per-layer sequence of specs/``None``.
+    shard_runner:
+        Optional thread/serial :class:`~repro.experiments.runner.ParallelRunner`
+        executing the shard kernels of sharded layers concurrently.
     random_state:
         Seed; each tile receives an independent child generator.
     """
@@ -60,24 +100,30 @@ class CrossbarAccelerator:
         dac: Optional[DAC] = None,
         adc: Optional[ADC] = None,
         power_model: Optional[PowerModel] = None,
+        sharding: Union[None, ShardingSpec, Sequence[Optional[ShardingSpec]]] = None,
+        shard_runner=None,
         random_state: RandomState = None,
     ):
         if not network.layers:
             raise ValueError("cannot build an accelerator from an empty network")
         self.network = network
         self.power_model = power_model if power_model is not None else PowerModel()
+        layer_sharding = _resolve_layer_sharding(sharding, len(network.layers))
         rngs = spawn_rngs(random_state, len(network.layers))
         self.tiles: List[CrossbarTile] = [
-            CrossbarTile(
+            build_tile(
                 layer,
+                sharding=spec,
                 mapping=mapping,
                 nonidealities=nonidealities,
                 dac=dac,
                 adc=adc,
+                runner=shard_runner,
                 random_state=rng,
             )
-            for layer, rng in zip(network.layers, rngs)
+            for layer, rng, spec in zip(network.layers, rngs, layer_sharding)
         ]
+        self._tile_labels = self._build_tile_labels()
 
     # ----------------------------------------------------------- properties
 
@@ -93,18 +139,46 @@ class CrossbarAccelerator:
 
     @property
     def n_tiles(self) -> int:
-        """Number of crossbar tiles (one per layer)."""
+        """Number of logical tiles (one per layer; sharded groups count once)."""
         return len(self.tiles)
 
     @property
+    def n_physical_tiles(self) -> int:
+        """Number of physical crossbar arrays across all layers."""
+        return sum(tile.n_physical_tiles for tile in self.tiles)
+
+    @property
+    def tile_labels(self) -> Tuple[str, ...]:
+        """One label per physical tile, in power-report column order.
+
+        Unsharded layers are labelled ``layer<i>``; shards of a sharded layer
+        ``layer<i>/r<row>c<col>`` in row-major shard order.  Tile placement is
+        fixed at construction, so the tuple is built once and reused on every
+        power report.
+        """
+        return self._tile_labels
+
+    def _build_tile_labels(self) -> Tuple[str, ...]:
+        labels: List[str] = []
+        for index, tile in enumerate(self.tiles):
+            spec = tile.sharding
+            if spec.is_trivial:
+                labels.append(f"layer{index}")
+                continue
+            for r in range(spec.row_shards):
+                for c in range(spec.col_shards):
+                    labels.append(f"layer{index}/r{r}c{c}")
+        return tuple(labels)
+
+    @property
     def n_array_operations(self) -> int:
-        """Summed analogue array traversals across all tiles."""
+        """Summed analogue array traversals across all physical tiles."""
         return sum(tile.n_array_operations for tile in self.tiles)
 
     def reset_operation_counters(self) -> None:
         """Reset the per-tile array operation counters."""
         for tile in self.tiles:
-            tile.array.reset_counters()
+            tile.reset_operation_counters()
 
     # -------------------------------------------------------------- compute
 
@@ -138,10 +212,13 @@ class CrossbarAccelerator:
     ) -> Tuple[np.ndarray, PowerReport]:
         """Fused forward pass + power measurement in a single traversal.
 
-        Each tile is visited exactly once; its activations and supply current
-        are derived from the same conductance realization, so the returned
-        outputs and :class:`~repro.crossbar.power.PowerReport` describe one
-        consistent physical inference.
+        Each physical tile is visited exactly once; its activations and
+        supply current are derived from the same conductance realization, so
+        the returned outputs and :class:`~repro.crossbar.power.PowerReport`
+        describe one consistent physical inference.  The report carries one
+        current column per physical tile (see :attr:`tile_labels`); each
+        layer's contribution to the summed total current is the partial-sum
+        reduction its sharding spec declares.
 
         Returns
         -------
@@ -152,21 +229,27 @@ class CrossbarAccelerator:
         """
         activations, single = self._as_batch(inputs)
         per_tile_currents: List[np.ndarray] = []
+        layer_currents: List[np.ndarray] = []
         for tile in self.tiles:
-            activations, currents = tile.forward_with_power_batch(activations)
-            per_tile_currents.append(currents)
-        total = np.sum(per_tile_currents, axis=0)
-        report = self.power_model.report(total, per_tile_currents)
+            activations, shard_currents = tile.forward_with_power_shards(activations)
+            per_tile_currents.extend(
+                shard_currents[:, k] for k in range(shard_currents.shape[1])
+            )
+            layer_currents.append(tile.reduce_shard_currents(shard_currents))
+        total = np.sum(layer_currents, axis=0)
+        report = self.power_model.report(
+            total, per_tile_currents, labels=self.tile_labels
+        )
         return (activations[0] if single else activations), report
 
     def power_trace(self, inputs: np.ndarray) -> PowerReport:
         """Measure the power side channel for a batch of inputs.
 
-        The report contains the per-tile and summed total currents that an
-        attacker probing the supply rail would observe while the batch is
-        processed.  Implemented on the fused path: the tiles are traversed
-        once (not once for power and once for activations as in the legacy
-        two-pass engine).
+        The report contains the per-physical-tile and summed total currents
+        that an attacker probing the supply rails would observe while the
+        batch is processed.  Implemented on the fused path: the tiles are
+        traversed once (not once for power and once for activations as in
+        the legacy two-pass engine).
         """
         _, report = self.forward_with_power(inputs)
         return report

@@ -40,8 +40,8 @@ from typing import NamedTuple, Optional, Tuple
 
 import numpy as np
 
-from repro.crossbar.devices import IDEAL_DEVICE, NVMDeviceModel
-from repro.crossbar.mapping import ConductanceMapping, MappingScheme
+from repro.crossbar.devices import NVMDeviceModel
+from repro.crossbar.mapping import ConductanceMapping
 from repro.crossbar.nonidealities import NonidealityConfig
 from repro.utils.rng import RandomState, as_rng
 from repro.utils.validation import check_matrix
@@ -111,6 +111,59 @@ class CrossbarArray:
 
         self.g_plus, self.g_minus = self.mapping.map(weights, random_state=self._rng)
         self._apply_static_nonidealities()
+
+    @classmethod
+    def from_conductances(
+        cls,
+        g_plus: np.ndarray,
+        g_minus: np.ndarray,
+        *,
+        mapping: ConductanceMapping,
+        nonidealities: Optional[NonidealityConfig] = None,
+        reference_weights: Optional[np.ndarray] = None,
+        random_state: RandomState = None,
+    ) -> "CrossbarArray":
+        """Build an array from already-programmed conductance matrices.
+
+        Multi-tile sharding programs a logical weight matrix *once* (so the
+        physical devices are identical to the single-tile placement) and then
+        hands each shard its slice of ``G+`` / ``G-`` through this
+        constructor.  Programming noise, quantization and static
+        non-idealities are therefore **not** re-applied here — they already
+        happened on the full matrix; only dynamic effects (read noise, IR
+        drop, measurement noise) act per sub-array.
+
+        ``mapping`` must carry an explicit ``weight_scale`` (the full-matrix
+        scale) so :attr:`effective_weights` and the current-to-logical
+        conversion agree with the unsharded array; ``reference_weights``
+        defaults to the unmapped conductance difference.
+        """
+        if mapping.weight_scale is None:
+            raise ValueError(
+                "from_conductances requires a mapping with an explicit "
+                "weight_scale (the scale resolved on the full weight matrix)"
+            )
+        g_plus = check_matrix(np.array(g_plus, dtype=float, copy=True), "g_plus")
+        g_minus = check_matrix(np.array(g_minus, dtype=float, copy=True), "g_minus")
+        if g_plus.shape != g_minus.shape:
+            raise ValueError(
+                f"g_plus shape {g_plus.shape} != g_minus shape {g_minus.shape}"
+            )
+        array = cls.__new__(cls)
+        array.mapping = mapping
+        array.nonidealities = (
+            nonidealities if nonidealities is not None else NonidealityConfig()
+        )
+        array._rng = as_rng(random_state)
+        array.g_plus = g_plus
+        array.g_minus = g_minus
+        if reference_weights is None:
+            reference_weights = mapping.unmap(g_plus, g_minus, g_plus)
+        array._reference_weights = np.asarray(reference_weights, dtype=float).copy()
+        array._state_cache = None
+        array._n_operations = 0
+        array._n_realizations = 0
+        return array
 
     # ----------------------------------------------------------- properties
 

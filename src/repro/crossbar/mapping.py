@@ -1,4 +1,4 @@
-"""Weight-matrix to conductance-pair mapping.
+"""Weight-matrix to conductance-pair mapping and logical-to-physical placement.
 
 Each weight ``w_ij`` is represented by a differential pair of conductances
 ``G+_ij`` and ``G-_ij`` with ``w_ij ∝ G+_ij - G-_ij`` (Figure 2 of the paper).
@@ -16,19 +16,27 @@ Two schemes are implemented:
     column sums then carry no information about the weights — this scheme is
     the natural hardware counter-measure and is used by the mapping ablation
     benchmark.
+
+Besides the per-device mapping, this module also describes the *placement* of
+a logical weight matrix onto physical hardware: :class:`ShardingSpec` declares
+how one layer is split across a grid of crossbar tiles (row shards partition
+the output rows, column shards partition the input columns) and in which
+order the column-shard partial sums are reduced back into one output.  The
+actual multi-tile execution lives in
+:class:`~repro.crossbar.tile.ShardedTileGroup`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.crossbar.devices import IDEAL_DEVICE, NVMDeviceModel
 from repro.utils.rng import RandomState, as_rng
-from repro.utils.validation import check_matrix, check_positive
+from repro.utils.validation import check_matrix, check_positive, check_positive_int
 
 
 class MappingScheme(str, Enum):
@@ -143,3 +151,153 @@ class ConductanceMapping:
         return np.full(
             weights.shape[1], n_rows * (self.device.g_min + self.device.g_max)
         )
+
+
+# --------------------------------------------------------------------- sharding
+
+
+#: Reduction orders accepted by :attr:`ShardingSpec.reduction`.
+REDUCTION_ORDERS = ("sequential", "tree")
+
+
+def reduce_partial_sums(partials: Sequence[np.ndarray], order: str = "sequential"):
+    """Reduce column-shard partial outputs into one array.
+
+    ``sequential`` accumulates the partials in shard order (a ripple adder
+    chain at the tile-group output); ``tree`` folds them pairwise (a balanced
+    adder tree, halving the reduction depth).  The two orders are equal in
+    exact arithmetic and differ only in float rounding; both are
+    deterministic for a fixed shard list.
+    """
+    if len(partials) == 0:
+        raise ValueError("cannot reduce an empty list of partial sums")
+    if order not in REDUCTION_ORDERS:
+        raise ValueError(f"reduction order must be one of {REDUCTION_ORDERS}, got {order!r}")
+    partials = list(partials)
+    if order == "sequential":
+        total = partials[0]
+        for partial in partials[1:]:
+            total = total + partial
+        return total
+    while len(partials) > 1:
+        folded = [
+            partials[i] + partials[i + 1] if i + 1 < len(partials) else partials[i]
+            for i in range(0, len(partials), 2)
+        ]
+        partials = folded
+    return partials[0]
+
+
+@dataclass(frozen=True)
+class ShardingSpec:
+    """How one logical layer is split across a grid of physical crossbar tiles.
+
+    A layer with an ``(M, N)`` weight matrix is partitioned into
+    ``row_shards x col_shards`` sub-arrays: row shards partition the ``M``
+    output rows (each shard computes a slice of the output vector), column
+    shards partition the ``N`` input columns (each shard sees a slice of the
+    input and produces a *partial sum* that must be reduced across shards).
+    ``numpy.array_split`` semantics apply, so non-divisible shapes are legal —
+    the leading shards are one row/column larger.
+
+    Attributes
+    ----------
+    row_shards / col_shards:
+        Number of partitions along the output/input dimension (>= 1 each).
+    reduction:
+        Order in which column-shard partial sums are combined:
+        ``"sequential"`` (shard order) or ``"tree"`` (pairwise fold).
+    """
+
+    row_shards: int = 1
+    col_shards: int = 1
+    reduction: str = "sequential"
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.row_shards, "row_shards")
+        check_positive_int(self.col_shards, "col_shards")
+        if self.reduction not in REDUCTION_ORDERS:
+            raise ValueError(
+                f"reduction must be one of {REDUCTION_ORDERS}, got {self.reduction!r}"
+            )
+
+    # ---------------------------------------------------------- constructors
+
+    @classmethod
+    def rows(cls, n: int, *, reduction: str = "sequential") -> "ShardingSpec":
+        """Split the output rows across ``n`` tiles (no partial-sum reduction)."""
+        return cls(row_shards=n, reduction=reduction)
+
+    @classmethod
+    def columns(cls, n: int, *, reduction: str = "sequential") -> "ShardingSpec":
+        """Split the input columns across ``n`` tiles (partial sums reduced)."""
+        return cls(col_shards=n, reduction=reduction)
+
+    @classmethod
+    def grid(cls, rows: int, cols: int, *, reduction: str = "sequential") -> "ShardingSpec":
+        """Split both dimensions across a ``rows x cols`` tile grid."""
+        return cls(row_shards=rows, col_shards=cols, reduction=reduction)
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def n_shards(self) -> int:
+        """Number of physical tiles the layer occupies."""
+        return self.row_shards * self.col_shards
+
+    @property
+    def is_trivial(self) -> bool:
+        """True for the 1x1 grid — a single tile, no sharding."""
+        return self.row_shards == 1 and self.col_shards == 1
+
+    @property
+    def strategy(self) -> str:
+        """Human-readable split kind: ``none`` / ``rows`` / ``columns`` / ``grid``."""
+        if self.is_trivial:
+            return "none"
+        if self.col_shards == 1:
+            return "rows"
+        if self.row_shards == 1:
+            return "columns"
+        return "grid"
+
+    # -------------------------------------------------------------- geometry
+
+    def shard_sections(
+        self, n_rows: int, n_cols: int
+    ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        """Index partitions ``(row_sections, col_sections)`` for an (M, N) matrix.
+
+        Every shard must be non-empty; a spec with more shards than rows or
+        columns is rejected here (at placement time, when the shape is known).
+        """
+        if self.row_shards > n_rows:
+            raise ValueError(
+                f"cannot split {n_rows} output rows into {self.row_shards} shards"
+            )
+        if self.col_shards > n_cols:
+            raise ValueError(
+                f"cannot split {n_cols} input columns into {self.col_shards} shards"
+            )
+        row_sections = np.array_split(np.arange(n_rows), self.row_shards)
+        col_sections = np.array_split(np.arange(n_cols), self.col_shards)
+        return row_sections, col_sections
+
+    # ----------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation (for scenario/result metadata)."""
+        return {
+            "row_shards": self.row_shards,
+            "col_shards": self.col_shards,
+            "reduction": self.reduction,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ShardingSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**payload)
+
+
+#: Shared default: a single tile per layer (the seed engine's placement).
+UNSHARDED = ShardingSpec()

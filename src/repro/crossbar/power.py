@@ -5,12 +5,18 @@ by the array for a given input (Eq. 5).  :class:`PowerModel` converts that
 current into the quantities an attacker could realistically record —
 instantaneous power at the supply voltage and energy per inference — and
 bundles them into :class:`PowerReport` objects.
+
+With multi-tile sharding each physical tile's supply rail is individually
+observable: :attr:`PowerReport.per_tile_current` carries one column per
+physical tile and :attr:`PowerReport.tile_labels` names them
+(``layer<i>`` for unsharded layers, ``layer<i>/r<r>c<c>`` for shards), so
+attacks and analyses can select any subset of rails.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,14 +36,19 @@ class PowerReport:
     energy:
         ``(B,)`` energy per inference, ``power * integration_time``.
     per_tile_current:
-        ``(B, n_tiles)`` currents for multi-tile accelerators (one column per
-        crossbar tile); single-layer networks have one tile.
+        ``(B, n_tiles)`` currents, one column per *physical* crossbar tile.
+        Unsharded accelerators have one column per layer; sharded layers
+        contribute one column per shard (row-major shard order).
+    tile_labels:
+        Optional names for the current columns (``None`` when the producer
+        does not label its tiles).
     """
 
     total_current: np.ndarray
     power: np.ndarray
     energy: np.ndarray
     per_tile_current: np.ndarray
+    tile_labels: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         for name in ("total_current", "power", "energy"):
@@ -48,6 +59,14 @@ class PowerReport:
             raise ValueError(
                 f"per_tile_current must be 2-D, got shape {np.shape(self.per_tile_current)}"
             )
+        if self.tile_labels is not None:
+            labels = tuple(str(label) for label in self.tile_labels)
+            object.__setattr__(self, "tile_labels", labels)
+            if len(labels) != np.shape(self.per_tile_current)[1]:
+                raise ValueError(
+                    f"{len(labels)} tile labels for "
+                    f"{np.shape(self.per_tile_current)[1]} current columns"
+                )
 
     @property
     def n_samples(self) -> int:
@@ -56,8 +75,25 @@ class PowerReport:
 
     @property
     def n_tiles(self) -> int:
-        """Number of crossbar tiles contributing to the measurement."""
+        """Number of physical crossbar tiles contributing to the measurement."""
         return self.per_tile_current.shape[1]
+
+    def current_for(self, label: str) -> np.ndarray:
+        """``(B,)`` current of one labelled tile, or the summed currents of a
+        labelled group (prefix match on ``"<label>/"``, e.g. ``"layer1"``
+        selects every shard of layer 1)."""
+        if self.tile_labels is None:
+            raise ValueError("this report carries no tile labels")
+        if label in self.tile_labels:
+            return self.per_tile_current[:, self.tile_labels.index(label)]
+        columns = [
+            index
+            for index, name in enumerate(self.tile_labels)
+            if name.startswith(f"{label}/")
+        ]
+        if not columns:
+            raise KeyError(f"no tile labelled {label!r} in {self.tile_labels}")
+        return self.per_tile_current[:, columns].sum(axis=1)
 
     def mean_power(self) -> float:
         """Average dissipated power over the batch."""
@@ -89,6 +125,8 @@ class PowerModel:
         self,
         total_currents: np.ndarray,
         per_tile_currents: Optional[Sequence[np.ndarray]] = None,
+        *,
+        labels: Optional[Sequence[str]] = None,
     ) -> PowerReport:
         """Build a :class:`PowerReport` from raw current measurements.
 
@@ -97,8 +135,10 @@ class PowerModel:
         total_currents:
             ``(B,)`` summed currents across all tiles.
         per_tile_currents:
-            Optional sequence of ``(B,)`` arrays, one per tile.  Defaults to a
-            single tile carrying the whole current.
+            Optional sequence of ``(B,)`` arrays, one per physical tile.
+            Defaults to a single tile carrying the whole current.
+        labels:
+            Optional tile names, one per entry of ``per_tile_currents``.
         """
         total_currents = np.atleast_1d(np.asarray(total_currents, dtype=float))
         if per_tile_currents is None:
@@ -119,6 +159,7 @@ class PowerModel:
             power=power,
             energy=energy,
             per_tile_current=per_tile,
+            tile_labels=tuple(labels) if labels is not None else None,
         )
 
     def combine(self, reports: List[PowerReport]) -> PowerReport:
@@ -127,8 +168,15 @@ class PowerModel:
             raise ValueError("cannot combine an empty list of reports")
         total = np.sum([r.total_current for r in reports], axis=0)
         per_tile = np.concatenate([r.per_tile_current for r in reports], axis=1)
+        labels: Optional[Tuple[str, ...]] = None
+        if all(r.tile_labels is not None for r in reports):
+            labels = tuple(label for r in reports for label in r.tile_labels)
         power = self.supply_voltage * total
         energy = power * self.integration_time
         return PowerReport(
-            total_current=total, power=power, energy=energy, per_tile_current=per_tile
+            total_current=total,
+            power=power,
+            energy=energy,
+            per_tile_current=per_tile,
+            tile_labels=labels,
         )

@@ -1,32 +1,69 @@
-"""A crossbar tile: one neural-network layer mapped onto an array + peripherals.
+"""Crossbar tiles: one neural-network layer mapped onto physical arrays.
 
-The tile owns a :class:`~repro.crossbar.array.CrossbarArray` programmed with
-the layer's weights, an input DAC, an output ADC, and applies the layer's
-activation function digitally after conversion, exactly mirroring Figure 2 of
-the paper (``v_y = f(i_s) = f(G v_u)``).
+:class:`CrossbarTile` owns a single
+:class:`~repro.crossbar.array.CrossbarArray` programmed with the layer's
+weights, an input DAC, an output ADC, and applies the layer's activation
+function digitally after conversion, exactly mirroring Figure 2 of the paper
+(``v_y = f(i_s) = f(G v_u)``).
 
-Batches stream through the tile in 2-D form end to end: the internal
+:class:`ShardedTileGroup` maps the *same* logical layer onto a grid of
+physical tiles instead: a :class:`~repro.crossbar.mapping.ShardingSpec`
+partitions the weight matrix into ``row_shards x col_shards`` sub-arrays, the
+full matrix is programmed **once** (so the physical devices are identical to
+the single-tile placement) and each shard receives its slice of the
+programmed conductances.  Every shard runs through the fused
+:meth:`CrossbarArray.matvec_with_current` path; column-shard partial outputs
+are reduced in the spec's declared order and each shard's supply current
+remains individually observable — the per-tile observables the paper's
+hardware discussion assumes.  For ideal (noise-free) devices the sharded
+computation performs the same exact-arithmetic operations as the single-tile
+one, so the two placements agree bit-for-bit whenever no float rounding
+occurs and to ~1e-12 otherwise.
+
+Batches stream through both tile kinds in 2-D form end to end: the internal
 ``*_batch`` helpers assume ``(B, n_inputs)`` arrays and never re-wrap their
 operands, while the public methods only handle the single-vector/batch shape
-convention at the boundary.  :meth:`forward_with_power` is the tile-level
-fused path — one :meth:`CrossbarArray.matvec_with_current` call yields the
-layer outputs and the tile's supply current from the same conductance
-realization.
+convention at the boundary.  :meth:`forward_with_power_shards` is the uniform
+fused interface the accelerator drives: one call yields the layer outputs and
+a ``(B, n_physical_tiles)`` matrix of per-shard supply currents from the same
+conductance realizations.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from dataclasses import replace
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.crossbar.adc_dac import ADC, DAC
 from repro.crossbar.array import CrossbarArray
-from repro.crossbar.mapping import ConductanceMapping
+from repro.crossbar.mapping import (
+    UNSHARDED,
+    ConductanceMapping,
+    ShardingSpec,
+    reduce_partial_sums,
+)
 from repro.crossbar.nonidealities import NonidealityConfig
 from repro.nn.activations import Activation, get_activation
 from repro.nn.layers import Dense
-from repro.utils.rng import RandomState
+from repro.utils.rng import RandomState, as_rng, spawn_rngs
+
+
+# Module-level shard kernels so a thread-pool ParallelRunner can map over
+# them (and so the runner's pickling probe succeeds).
+def _shard_matvec(array: CrossbarArray, voltages: np.ndarray) -> np.ndarray:
+    return array.matvec(voltages)
+
+
+def _shard_matvec_with_current(
+    array: CrossbarArray, voltages: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    return array.matvec_with_current(voltages)
+
+
+def _shard_total_current(array: CrossbarArray, voltages: np.ndarray) -> np.ndarray:
+    return array.total_current(voltages)
 
 
 class CrossbarTile:
@@ -66,19 +103,30 @@ class CrossbarTile:
         if self._has_bias_column:
             weights = np.concatenate([weights, layer.bias[:, np.newaxis]], axis=1)
 
+        self._build_engine(weights, mapping, nonidealities, random_state)
+        self.dac = dac if dac is not None else DAC()
+        self.adc = adc
+
+        # Scale factor converting output currents back to the digital domain.
+        self._current_to_logical = 1.0 / self._conductance_scale
+
+    # ----------------------------------------------------------------- engine
+
+    def _build_engine(
+        self,
+        weights: np.ndarray,
+        mapping: Optional[ConductanceMapping],
+        nonidealities: Optional[NonidealityConfig],
+        random_state: RandomState,
+    ) -> None:
+        """Program the layer onto physical hardware (one array by default)."""
         self.array = CrossbarArray(
             weights,
             mapping=mapping,
             nonidealities=nonidealities,
             random_state=random_state,
         )
-        self.dac = dac if dac is not None else DAC()
-        self.adc = adc
-
-        # Scale factor converting output currents back to the digital domain.
-        self._current_to_logical = 1.0 / self.array.mapping.conductance_per_unit_weight(
-            weights
-        )
+        self._conductance_scale = self.array.mapping.conductance_per_unit_weight(weights)
 
     # ----------------------------------------------------------- properties
 
@@ -93,6 +141,21 @@ class CrossbarTile:
         return self.layer.n_outputs
 
     @property
+    def sharding(self) -> ShardingSpec:
+        """The logical-to-physical placement of this layer (1x1 by default)."""
+        return UNSHARDED
+
+    @property
+    def n_physical_tiles(self) -> int:
+        """Number of physical crossbar arrays implementing the layer."""
+        return 1
+
+    @property
+    def shard_shapes(self) -> List[Tuple[int, int]]:
+        """``(rows, cols)`` of every physical array, row-major shard order."""
+        return [self.array.shape]
+
+    @property
     def column_conductance_sums(self) -> np.ndarray:
         """Per-logical-input column conductance sums (bias column excluded)."""
         sums = self.array.column_conductance_sums
@@ -104,6 +167,10 @@ class CrossbarTile:
     def n_array_operations(self) -> int:
         """Analogue traversals of the underlying array (fused ops count once)."""
         return self.array.n_operations
+
+    def reset_operation_counters(self) -> None:
+        """Reset the operation/realization counters of every physical array."""
+        self.array.reset_counters()
 
     # -------------------------------------------------------------- compute
 
@@ -162,6 +229,22 @@ class CrossbarTile:
         outputs = self.activation.forward(self._to_logical(currents))
         return outputs, np.atleast_1d(totals)
 
+    def forward_with_power_shards(
+        self, batch: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fused layer output + per-physical-tile supply currents.
+
+        The uniform interface the accelerator drives: returns
+        ``(outputs (B, n_outputs), shard_currents (B, n_physical_tiles))``.
+        A single-array tile has exactly one current column.
+        """
+        outputs, totals = self.forward_with_power_batch(batch)
+        return outputs, totals[:, np.newaxis]
+
+    def reduce_shard_currents(self, shard_currents: np.ndarray) -> np.ndarray:
+        """Layer total current from the per-shard current columns."""
+        return shard_currents[:, 0]
+
     def forward_with_power(self, inputs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Fused :meth:`forward` + :meth:`total_current` in a single pass.
 
@@ -189,3 +272,304 @@ class CrossbarTile:
             f"CrossbarTile(n_inputs={self.n_inputs}, n_outputs={self.n_outputs}, "
             f"activation={self.activation.name!r})"
         )
+
+
+class ShardedTileGroup(CrossbarTile):
+    """One dense layer sharded across a grid of physical crossbar tiles.
+
+    The layer's weight matrix (bias column included) is programmed exactly as
+    a single tile would program it — one mapping pass with the full-matrix
+    weight scale, one programming-noise draw, one static-non-ideality pass —
+    and the resulting conductance matrices are partitioned into
+    ``row_shards x col_shards`` physical sub-arrays.  Each sub-array is an
+    independent :class:`~repro.crossbar.array.CrossbarArray` with its own
+    read-noise/measurement-noise stream (they are distinct physical tiles),
+    driven through the fused :meth:`CrossbarArray.matvec_with_current` path.
+
+    Per batch, every shard is traversed exactly once: row-shard outputs are
+    concatenated, column-shard partial sums are reduced in
+    ``sharding.reduction`` order, and each shard's supply current is kept as
+    an individually observable column (the multi-rail power model of the
+    paper's hardware discussion).  With ideal devices the computation is the
+    same exact arithmetic as the single tile's, so the placements agree
+    bit-for-bit when no rounding occurs and to float-reduction precision
+    (~1e-12) otherwise.
+
+    Parameters
+    ----------
+    layer / mapping / nonidealities / dac / adc / random_state:
+        As for :class:`CrossbarTile`.
+    sharding:
+        The :class:`~repro.crossbar.mapping.ShardingSpec` grid geometry.
+    runner:
+        Optional :class:`~repro.experiments.runner.ParallelRunner` used to
+        execute shard kernels concurrently.  Only ``thread`` and ``serial``
+        modes are legal: the shard arrays are stateful (operation counters,
+        per-shard RNG streams), so they must share the caller's address
+        space; a ``process`` runner is rejected.  Thread execution is
+        bit-identical to serial — each shard's operations happen in the same
+        order on the same array, results are collected in shard order.
+    """
+
+    def __init__(
+        self,
+        layer: Dense,
+        sharding: ShardingSpec,
+        *,
+        mapping: Optional[ConductanceMapping] = None,
+        nonidealities: Optional[NonidealityConfig] = None,
+        dac: Optional[DAC] = None,
+        adc: Optional[ADC] = None,
+        runner=None,
+        random_state: RandomState = None,
+    ):
+        if not isinstance(sharding, ShardingSpec):
+            raise TypeError(
+                f"sharding must be a ShardingSpec, got {type(sharding).__name__}"
+            )
+        if runner is not None and getattr(runner, "mode", None) == "process":
+            raise ValueError(
+                "shard execution requires a shared address space (stateful "
+                "arrays: operation counters, RNG streams); use a 'thread' or "
+                "'serial' ParallelRunner"
+            )
+        self._sharding = sharding
+        self._runner = runner
+        super().__init__(
+            layer,
+            mapping=mapping,
+            nonidealities=nonidealities,
+            dac=dac,
+            adc=adc,
+            random_state=random_state,
+        )
+
+    # ----------------------------------------------------------------- engine
+
+    def _build_engine(
+        self,
+        weights: np.ndarray,
+        mapping: Optional[ConductanceMapping],
+        nonidealities: Optional[NonidealityConfig],
+        random_state: RandomState,
+    ) -> None:
+        """Program the full matrix once, then slice it into the shard grid."""
+        mapping = mapping if mapping is not None else ConductanceMapping()
+        rng = as_rng(random_state)
+
+        # Pin the weight scale to the full matrix so every shard converts
+        # currents with the same factor the single-tile placement would use.
+        scale = mapping.resolve_weight_scale(weights)
+        shard_mapping = replace(mapping, weight_scale=scale)
+        self._conductance_scale = shard_mapping.conductance_per_unit_weight(weights)
+
+        # One programming pass — bitwise the same devices as a single tile
+        # built from the same seed (same rng stream for programming noise,
+        # quantization and static non-idealities).
+        programmed = CrossbarArray(
+            weights,
+            mapping=shard_mapping,
+            nonidealities=nonidealities,
+            random_state=rng,
+        )
+
+        row_sections, col_sections = self._sharding.shard_sections(*weights.shape)
+        self._row_sections = row_sections
+        self._col_sections = col_sections
+        # array_split sections are contiguous index ranges; basic slices give
+        # copy-free views of the batch in the per-shard hot path.
+        self._col_slices = [
+            slice(int(cols[0]), int(cols[-1]) + 1) for cols in col_sections
+        ]
+        shard_rngs = spawn_rngs(rng, self._sharding.n_shards)
+        self.shards: List[List[CrossbarArray]] = []
+        for r, rows in enumerate(row_sections):
+            row_arrays = []
+            for c, cols in enumerate(col_sections):
+                index = r * len(col_sections) + c
+                row_arrays.append(
+                    CrossbarArray.from_conductances(
+                        programmed.g_plus[np.ix_(rows, cols)],
+                        programmed.g_minus[np.ix_(rows, cols)],
+                        mapping=shard_mapping,
+                        nonidealities=nonidealities,
+                        reference_weights=weights[np.ix_(rows, cols)],
+                        random_state=shard_rngs[index],
+                    )
+                )
+            self.shards.append(row_arrays)
+        # No monolithic array exists for this layer; CrossbarTile methods that
+        # would touch one are all overridden below.
+        self.array = None
+
+    # ----------------------------------------------------------- properties
+
+    @property
+    def sharding(self) -> ShardingSpec:
+        return self._sharding
+
+    @property
+    def n_physical_tiles(self) -> int:
+        return self._sharding.n_shards
+
+    @property
+    def shard_shapes(self) -> List[Tuple[int, int]]:
+        return [array.shape for row in self.shards for array in row]
+
+    @property
+    def column_conductance_sums(self) -> np.ndarray:
+        """Full-layer column sums reassembled from the shard grid."""
+        columns = []
+        for c in range(len(self._col_sections)):
+            sums = self.shards[0][c].column_conductance_sums
+            for r in range(1, len(self._row_sections)):
+                sums = sums + self.shards[r][c].column_conductance_sums
+            columns.append(sums)
+        sums = np.concatenate(columns)
+        if self._has_bias_column:
+            return sums[:-1]
+        return sums
+
+    @property
+    def n_array_operations(self) -> int:
+        return sum(array.n_operations for row in self.shards for array in row)
+
+    @property
+    def n_array_realizations(self) -> int:
+        """Summed physical conductance reads across all shards."""
+        return sum(array.n_realizations for row in self.shards for array in row)
+
+    def reset_operation_counters(self) -> None:
+        for row in self.shards:
+            for array in row:
+                array.reset_counters()
+
+    # -------------------------------------------------------------- compute
+
+    def _split_columns(self, voltages: np.ndarray) -> List[np.ndarray]:
+        if len(self._col_slices) == 1:
+            return [voltages]
+        return [voltages[:, cols] for cols in self._col_slices]
+
+    def _map_shards(self, kernel, voltage_slices: Sequence[np.ndarray]) -> List[List]:
+        """Apply ``kernel(array, voltages)`` to every shard, row-major.
+
+        Returns results as a ``[row][col]`` grid.  With a runner attached the
+        kernels execute on its pool (thread mode — shared address space);
+        results are collected in shard order either way, so the grid is
+        independent of the execution schedule.
+        """
+        jobs = [
+            (self.shards[r][c], voltage_slices[c])
+            for r in range(len(self._row_sections))
+            for c in range(len(self._col_sections))
+        ]
+        if self._runner is None:
+            flat = [kernel(array, voltages) for array, voltages in jobs]
+        else:
+            flat = self._runner.map(kernel, jobs)
+        n_cols = len(self._col_sections)
+        return [flat[r * n_cols : (r + 1) * n_cols] for r in range(len(self._row_sections))]
+
+    def _reduce_rows(self, grid: List[List[np.ndarray]]) -> np.ndarray:
+        """Reduce column-shard partials per row shard, concatenate row outputs."""
+        reduced = [
+            reduce_partial_sums(row, self._sharding.reduction) for row in grid
+        ]
+        return np.concatenate([np.atleast_2d(block) for block in reduced], axis=1)
+
+    def pre_activation_batch(self, batch: np.ndarray) -> np.ndarray:
+        voltages = self._line_voltages(batch)
+        grid = self._map_shards(_shard_matvec, self._split_columns(voltages))
+        return self._to_logical(self._reduce_rows(grid))
+
+    def forward_with_power_shards(
+        self, batch: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fused outputs + per-shard currents, one traversal per shard.
+
+        Returns ``(outputs (B, n_outputs), shard_currents (B, n_shards))``
+        with current columns in row-major shard order; every shard's output
+        and current come from the same conductance realization.
+        """
+        voltages = self._line_voltages(batch)
+        grid = self._map_shards(
+            _shard_matvec_with_current, self._split_columns(voltages)
+        )
+        outputs = self._reduce_rows(
+            [[pair[0] for pair in row] for row in grid]
+        )
+        shard_currents = np.stack(
+            [np.atleast_1d(pair[1]) for row in grid for pair in row], axis=1
+        )
+        outputs = self.activation.forward(self._to_logical(outputs))
+        return outputs, shard_currents
+
+    def reduce_shard_currents(self, shard_currents: np.ndarray) -> np.ndarray:
+        """Layer total current: partial-sum reduction over the shard columns."""
+        columns = [shard_currents[:, k] for k in range(shard_currents.shape[1])]
+        return reduce_partial_sums(columns, self._sharding.reduction)
+
+    def forward_with_power_batch(
+        self, batch: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        outputs, shard_currents = self.forward_with_power_shards(batch)
+        return outputs, self.reduce_shard_currents(shard_currents)
+
+    def total_current(self, inputs: np.ndarray) -> np.ndarray:
+        """Summed power side channel across all shard rails.
+
+        Each shard's rail is measured independently (per-shard measurement
+        noise); the observable is the reduction of the per-shard currents.
+        """
+        single = np.asarray(inputs).ndim == 1
+        voltages = self._line_voltages(inputs)
+        grid = self._map_shards(_shard_total_current, self._split_columns(voltages))
+        partials = [np.atleast_1d(value) for row in grid for value in row]
+        currents = reduce_partial_sums(partials, self._sharding.reduction)
+        return float(currents[0]) if single else currents
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedTileGroup(n_inputs={self.n_inputs}, n_outputs={self.n_outputs}, "
+            f"grid={self._sharding.row_shards}x{self._sharding.col_shards}, "
+            f"reduction={self._sharding.reduction!r})"
+        )
+
+
+def build_tile(
+    layer: Dense,
+    *,
+    sharding: Optional[ShardingSpec] = None,
+    mapping: Optional[ConductanceMapping] = None,
+    nonidealities: Optional[NonidealityConfig] = None,
+    dac: Optional[DAC] = None,
+    adc: Optional[ADC] = None,
+    runner=None,
+    random_state: RandomState = None,
+) -> CrossbarTile:
+    """Place one layer on hardware: a single tile, or a sharded tile group.
+
+    ``sharding=None`` (or a trivial 1x1 spec) builds a plain
+    :class:`CrossbarTile` with construction byte-identical to the historical
+    path; anything else builds a :class:`ShardedTileGroup`.
+    """
+    if sharding is None or sharding.is_trivial:
+        return CrossbarTile(
+            layer,
+            mapping=mapping,
+            nonidealities=nonidealities,
+            dac=dac,
+            adc=adc,
+            random_state=random_state,
+        )
+    return ShardedTileGroup(
+        layer,
+        sharding,
+        mapping=mapping,
+        nonidealities=nonidealities,
+        dac=dac,
+        adc=adc,
+        runner=runner,
+        random_state=random_state,
+    )

@@ -19,7 +19,7 @@ translating, scaling and re-noising the prototype.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 from scipy.ndimage import gaussian_filter, shift as ndi_shift

@@ -12,11 +12,13 @@ results either way), and assemble an
 ``run_*`` / ``format_*`` entry points remain as thin wrappers.
 """
 
+from repro.crossbar.mapping import ShardingSpec
 from repro.experiments.config import (
     DatasetConfig,
     TrainingConfig,
     ExperimentScale,
     SCALES,
+    SHARD_PRESET_GEOMETRIES,
     resolve_scale,
 )
 from repro.experiments.runner import (
@@ -53,6 +55,8 @@ __all__ = [
     "TrainingConfig",
     "ExperimentScale",
     "SCALES",
+    "SHARD_PRESET_GEOMETRIES",
+    "ShardingSpec",
     "resolve_scale",
     "ParallelRunner",
     "prepare_model",

@@ -166,3 +166,16 @@ PAPER_CONFIGURATIONS: Tuple[Tuple[str, str], ...] = (
     ("cifar-like", "linear"),
     ("cifar-like", "softmax"),
 )
+
+
+#: Multi-tile placement presets registered as ``sharded-*`` scenarios:
+#: ``name -> (row_shards, col_shards, reduction)``.  Kept here as plain data
+#: so the shipped tile geometries are configuration, not scenario-module code;
+#: :mod:`repro.experiments.scenario` turns each entry into a
+#: :class:`~repro.crossbar.mapping.ShardingSpec` preset.
+SHARD_PRESET_GEOMETRIES: Dict[str, Tuple[int, int, str]] = {
+    "sharded-rows-2": (2, 1, "sequential"),
+    "sharded-columns-4": (1, 4, "sequential"),
+    "sharded-2x2": (2, 2, "sequential"),
+    "sharded-4x4-tree": (4, 4, "tree"),
+}

@@ -142,7 +142,7 @@ def _sweep_row_cells(
 ) -> Dict[Tuple[float, int], Tuple[float, float]]:
     """The per-seed λ x query-count sweep against one trained victim."""
     query_counts = tuple(int(q) for q in scale.query_counts)
-    lambdas = tuple(float(l) for l in scale.power_loss_weights)
+    lambdas = tuple(float(lam) for lam in scale.power_loss_weights)
     cells: Dict[Tuple[float, int], Tuple[float, float]] = {}
     for lam in lambdas:
         config = SurrogateConfig(power_loss_weight=lam, epochs=scale.surrogate_epochs)
@@ -185,7 +185,7 @@ def _run_figure5_job(job: Job) -> RunResult:
     cells = _sweep_row_cells(victim, dataset, output_mode, scale, seed, attack_strength)
 
     query_counts = tuple(int(q) for q in scale.query_counts)
-    lambdas = tuple(float(l) for l in scale.power_loss_weights)
+    lambdas = tuple(float(lam) for lam in scale.power_loss_weights)
     surrogate = np.array(
         [[cells[(lam, qi)][0] for qi in range(len(query_counts))] for lam in lambdas]
     )
@@ -296,7 +296,7 @@ class Figure5Experiment(Experiment):
             scenarios=[scenario.name for scenario in scenarios],
         )
         query_counts = tuple(int(q) for q in scale.query_counts)
-        lambdas = tuple(float(l) for l in scale.power_loss_weights)
+        lambdas = tuple(float(lam) for lam in scale.power_loss_weights)
         # keyed by the scenario *object* so distinct specs sharing a name
         # cannot merge into one row
         rows: Dict[Tuple[ScenarioSpec, str], Dict[str, object]] = {}
@@ -347,7 +347,7 @@ register(Figure5Experiment)
 def _row_from_summary_entry(entry) -> Figure5Row:
     """Rebuild one :class:`Figure5Row` from its summary-dict form."""
     query_counts = tuple(int(q) for q in entry["query_counts"])
-    lambdas = tuple(float(l) for l in entry["power_loss_weights"])
+    lambdas = tuple(float(lam) for lam in entry["power_loss_weights"])
     row = Figure5Row(
         dataset=entry["dataset"],
         output_mode=entry["output_mode"],

@@ -15,12 +15,12 @@ import pickle
 import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.datasets import Dataset, load_dataset
 from repro.experiments.config import ExperimentScale
 from repro.nn.network import SingleLayerNetwork
-from repro.nn.trainer import Trainer, train_single_layer
+from repro.nn.trainer import train_single_layer
 from repro.utils.results import RunResult, SweepResult
 from repro.utils.rng import seeds_for_runs
 

@@ -24,10 +24,14 @@ import numpy as np
 from repro.crossbar.accelerator import CrossbarAccelerator
 from repro.crossbar.adc_dac import ADC, DAC
 from repro.crossbar.devices import IDEAL_DEVICE, PCM_DEVICE, RERAM_DEVICE, NVMDeviceModel
-from repro.crossbar.mapping import ConductanceMapping, MappingScheme
+from repro.crossbar.mapping import ConductanceMapping, MappingScheme, ShardingSpec
 from repro.crossbar.nonidealities import IDEAL_NONIDEALITIES, NonidealityConfig
 from repro.defenses.noise_injection import PowerNoiseDefense
-from repro.experiments.config import ExperimentScale, PAPER_CONFIGURATIONS
+from repro.experiments.config import (
+    ExperimentScale,
+    PAPER_CONFIGURATIONS,
+    SHARD_PRESET_GEOMETRIES,
+)
 from repro.nn.metrics import accuracy
 from repro.sidechannel.measurement import PowerMeasurement
 from repro.sidechannel.probing import ColumnNormProber
@@ -76,6 +80,12 @@ class ScenarioSpec:
     defense_strength:
         Defence-specific knob: the regulariser beta, the rebalance blend in
         ``[0, 1]``, or the dummy-current scale.
+    sharding:
+        Optional :class:`~repro.crossbar.mapping.ShardingSpec` placing every
+        layer on a grid of physical tiles (``None`` = one tile per layer).
+        Ideal-device sharded execution is equivalent to the single-tile
+        placement, so this axis sweeps tile geometry without changing any
+        result — until non-idealities or per-tile observables enter.
     description:
         One-line human-readable summary for listings.
     """
@@ -91,6 +101,7 @@ class ScenarioSpec:
     measurement_noise: float = 0.0
     defense: Optional[str] = None
     defense_strength: float = 0.0
+    sharding: Optional[ShardingSpec] = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -124,6 +135,11 @@ class ScenarioSpec:
             raise ValueError("measurement_noise must be >= 0")
         if self.defense_strength < 0:
             raise ValueError("defense_strength must be >= 0")
+        if self.sharding is not None and not isinstance(self.sharding, ShardingSpec):
+            raise TypeError(
+                f"sharding must be a ShardingSpec or None, "
+                f"got {type(self.sharding).__name__}"
+            )
 
     # ------------------------------------------------------------- utilities
 
@@ -147,6 +163,7 @@ class ScenarioSpec:
             and self.nonidealities.is_ideal
             and self.measurement_noise == 0.0
             and self.defense is None
+            and (self.sharding is None or self.sharding.is_trivial)
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -156,6 +173,8 @@ class ScenarioSpec:
             value = getattr(self, spec_field.name)
             if isinstance(value, NonidealityConfig):
                 value = {f.name: getattr(value, f.name) for f in fields(value)}
+            elif isinstance(value, ShardingSpec):
+                value = value.to_dict()
             payload[spec_field.name] = value
         return payload
 
@@ -231,6 +250,7 @@ class ScenarioSpec:
             nonidealities=nonidealities,
             dac=dac,
             adc=adc,
+            sharding=self.sharding,
             random_state=random_state,
         )
         if self.defense == "power-noise":
@@ -346,6 +366,25 @@ register_scenario(
         description="Balanced conductance mapping (hardware-level defence against the side channel)",
     )
 )
+# Multi-tile placement presets: same victim and ideal hardware as the paper
+# configuration, with each layer sharded across a grid of physical tiles so
+# Table 1 / Figure 5 style experiments can sweep tile geometry.  The grid
+# shapes live in config.SHARD_PRESET_GEOMETRIES.
+for _name, (_rows, _cols, _reduction) in SHARD_PRESET_GEOMETRIES.items():
+    register_scenario(
+        ScenarioSpec(
+            name=_name,
+            dataset="mnist-like",
+            activation="softmax",
+            sharding=ShardingSpec(
+                row_shards=_rows, col_shards=_cols, reduction=_reduction
+            ),
+            description=(
+                f"Layers sharded across a {_rows}x{_cols} physical tile grid "
+                f"({_reduction} partial-sum reduction)"
+            ),
+        )
+    )
 
 
 def get_scenario(name) -> ScenarioSpec:

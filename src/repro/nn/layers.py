@@ -12,7 +12,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.nn.activations import Activation, Identity, get_activation
+from repro.nn.activations import Activation, get_activation
 from repro.nn.initializers import Initializer, XavierUniform, Zeros, get_initializer
 from repro.utils.rng import RandomState, as_rng
 from repro.utils.validation import check_matrix, check_positive_int

@@ -22,7 +22,7 @@ def accuracy(predictions: np.ndarray, targets: np.ndarray) -> float:
     true_labels = _as_labels(targets)
     if pred_labels.shape != true_labels.shape:
         raise ValueError(
-            f"predictions and targets disagree on sample count: "
+            "predictions and targets disagree on sample count: "
             f"{pred_labels.shape} vs {true_labels.shape}"
         )
     if pred_labels.size == 0:

@@ -9,13 +9,13 @@ multi-layer stacks for the paper's stated future-work direction.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
 from repro.nn.activations import Softmax
 from repro.nn.layers import Dense
-from repro.nn.losses import CategoricalCrossEntropy, Loss, MeanSquaredError, get_loss
+from repro.nn.losses import CategoricalCrossEntropy, Loss, MeanSquaredError
 from repro.utils.rng import RandomState
 from repro.utils.serialization import load_npz, save_npz
 

@@ -8,7 +8,7 @@ serialisable to plain JSON.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Mapping
 
 import numpy as np
 

@@ -33,7 +33,7 @@ def as_rng(random_state: RandomState = None) -> np.random.Generator:
     if random_state is None or isinstance(random_state, (int, np.integer)):
         return np.random.default_rng(random_state)
     raise TypeError(
-        f"random_state must be None, int, SeedSequence or Generator, "
+        "random_state must be None, int, SeedSequence or Generator, "
         f"got {type(random_state).__name__}"
     )
 

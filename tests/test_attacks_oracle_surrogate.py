@@ -13,7 +13,6 @@ from repro.attacks.surrogate import (
 )
 from repro.crossbar.accelerator import CrossbarAccelerator
 from repro.nn.gradients import weight_column_norms
-from repro.nn.metrics import accuracy
 
 
 class TestOracle:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.crossbar.array import CrossbarArray
-from repro.crossbar.devices import IDEAL_DEVICE, NVMDeviceModel
+from repro.crossbar.devices import IDEAL_DEVICE
 from repro.crossbar.mapping import ConductanceMapping
 from repro.crossbar.nonidealities import NonidealityConfig
 

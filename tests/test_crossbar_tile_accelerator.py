@@ -11,7 +11,7 @@ from repro.crossbar.nonidealities import NonidealityConfig
 from repro.crossbar.tile import CrossbarTile
 from repro.nn.gradients import weight_column_norms
 from repro.nn.layers import Dense
-from repro.nn.network import Sequential, SingleLayerNetwork
+from repro.nn.network import Sequential
 
 
 class TestCrossbarTile:

@@ -20,7 +20,7 @@ import pytest
 from repro.attacks.oracle import Oracle
 from repro.crossbar.accelerator import CrossbarAccelerator
 from repro.crossbar.array import CrossbarArray
-from repro.crossbar.devices import IDEAL_DEVICE, RERAM_DEVICE, NVMDeviceModel
+from repro.crossbar.devices import IDEAL_DEVICE, NVMDeviceModel
 from repro.crossbar.mapping import ConductanceMapping, MappingScheme
 from repro.crossbar.nonidealities import NonidealityConfig
 from repro.crossbar.tile import CrossbarTile

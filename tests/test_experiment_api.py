@@ -22,7 +22,7 @@ from repro.experiments import (
 )
 from repro.experiments.base import Experiment, Job, _execute_job
 from repro.experiments.figure5 import OUTPUT_MODES
-from repro.experiments.config import PAPER_CONFIGURATIONS, ExperimentScale
+from repro.experiments.config import PAPER_CONFIGURATIONS
 from repro.experiments.registry import _REGISTRY
 from repro.experiments.scenario import SCENARIOS
 

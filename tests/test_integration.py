@@ -1,7 +1,6 @@
 """End-to-end integration tests covering the paper's two attack scenarios."""
 
 import numpy as np
-import pytest
 
 from repro.attacks import (
     Oracle,

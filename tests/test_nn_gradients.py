@@ -9,7 +9,7 @@ from repro.nn.gradients import (
     sensitivity_map,
     weight_column_norms,
 )
-from repro.nn.losses import CategoricalCrossEntropy, MeanSquaredError
+from repro.nn.losses import MeanSquaredError
 from repro.nn.network import SingleLayerNetwork
 
 

@@ -47,7 +47,6 @@ class TestProbeAll:
         weights = rng.normal(size=(5, 7))
         prober, array = make_prober(weights, device=device, measure_baseline=True)
         result = prober.probe_all()
-        scale = array.mapping.conductance_per_unit_weight(weights)
         # After offset correction the ordering must match the true 1-norms.
         true_norms = weight_column_norms(weights)
         assert np.corrcoef(result.column_sums, true_norms)[0, 1] > 0.999
