@@ -35,6 +35,10 @@ Gated sections:
 * ``bench_sharding`` — multi-tile sharded forward must stay within
   ``--max-sharded-ratio`` (default 1.2x) of the single-tile per-element
   throughput for every recorded geometry.
+* ``bench_sweeps`` — the scenario-sweep subsystem: the process-pool sweep
+  must be bit-identical to the serial sweep, both wall times must be
+  recorded, and the recorded leakage curve must be monotonicity-sane
+  (leakage rises with acquisition fidelity).
 
 Sections other than ``engine`` are only checked when present, so a partial
 benchmark run stays usable; ``engine`` is always required.
@@ -103,6 +107,7 @@ def check_results(
     failures.extend(_check_figure5_sections(results))
     failures.extend(_check_experiments_section(results))
     failures.extend(_check_sharding_section(results, max_sharded_ratio))
+    failures.extend(_check_sweeps_section(results))
     engine = results.get("engine")
     if engine is None:
         return failures + [
@@ -221,6 +226,32 @@ def _check_sharding_section(results: dict, max_sharded_ratio: float) -> list[str
                 f"sharded forward ({row.get('geometry')!r}) is {ratio:.2f}x the "
                 f"single-tile per-element time (gate {max_sharded_ratio:.2f}x)"
             )
+    return failures
+
+
+def _check_sweeps_section(results: dict) -> list[str]:
+    """Gate the scenario-sweep timings recorded by benchmarks/bench_sweeps.py."""
+    payload = results.get("bench_sweeps")
+    if payload is None:
+        return []
+    failures: list[str] = []
+    for key in ("serial_s", "process_s"):
+        value = payload.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            failures.append(f"bench_sweeps has no positive {key!r} wall time")
+    if payload.get("results_identical") is not True:
+        failures.append(
+            "bench_sweeps: process-pool results were not bit-identical "
+            "to the serial sweep"
+        )
+    if not payload.get("leakage_curve"):
+        failures.append("bench_sweeps recorded no leakage curve")
+    if payload.get("monotone_ok") is not True:
+        failures.append(
+            "bench_sweeps: leakage curve is not monotonicity-sane "
+            f"(curve {payload.get('leakage_curve')!r} over "
+            f"{payload.get('values')!r})"
+        )
     return failures
 
 

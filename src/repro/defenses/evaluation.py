@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -22,22 +23,42 @@ def leakage_correlation(
     *,
     noise_std: float = 0.0,
     random_state: RandomState = None,
+    leaked_norms: Optional[np.ndarray] = None,
 ) -> float:
     """Correlation between power-probed column sums and the true 1-norms.
 
     1.0 means the side channel leaks the weight-column 1-norms perfectly;
-    values near 0 mean a successful defence.
+    values near 0 mean a successful defence.  Degenerate observations —
+    zero-variance leaked sums (e.g. a fully quantised or jammed channel),
+    constant-weight victims, or non-finite readings — report 0.0 rather
+    than a NaN correlation.
+
+    Parameters
+    ----------
+    leaked_norms:
+        Optional pre-probed column sums.  When given, ``power_target`` is not
+        probed again — the caller's own acquisition (a scenario-configured
+        prober, a replayed trace) is scored as-is, so the leakage metric and
+        any attack mounted from the same probe see identical data.
     """
-    n_features = network.layers[0].n_inputs
-    prober = ColumnNormProber(
-        PowerMeasurement(power_target, noise_std=noise_std, random_state=random_state),
-        n_features,
-    )
-    leaked = prober.probe_all().column_sums
+    if leaked_norms is None:
+        n_features = network.layers[0].n_inputs
+        prober = ColumnNormProber(
+            PowerMeasurement(
+                power_target, noise_std=noise_std, random_state=random_state
+            ),
+            n_features,
+        )
+        leaked = prober.probe_all().column_sums
+    else:
+        leaked = np.asarray(leaked_norms, dtype=float)
     true_norms = weight_column_norms(network.layers[0].weights)
     if leaked.std() == 0 or true_norms.std() == 0:
         return 0.0
-    return float(np.corrcoef(leaked, true_norms)[0, 1])
+    correlation = float(np.corrcoef(leaked, true_norms)[0, 1])
+    if not np.isfinite(correlation):
+        return 0.0
+    return correlation
 
 
 def single_pixel_attack_advantage(

@@ -19,6 +19,7 @@ from repro.experiments.config import (
     ExperimentScale,
     SCALES,
     SHARD_PRESET_GEOMETRIES,
+    SWEEP_PRESET_GRIDS,
     resolve_scale,
 )
 from repro.experiments.runner import (
@@ -44,11 +45,25 @@ from repro.experiments.registry import (
     register,
     run_experiments,
 )
+from repro.experiments.sweep import (
+    KNOB_ALIASES,
+    SWEEPS,
+    SweepExperiment,
+    SweepSpec,
+    apply_knob,
+    get_sweep,
+    resolve_knob,
+    swept_field,
+)
 from repro.experiments.table1 import run_table1, format_table1, Table1Result
 from repro.experiments.figure3 import run_figure3, format_figure3, Figure3Result
 from repro.experiments.figure4 import run_figure4, format_figure4, Figure4Result
 from repro.experiments.figure5 import run_figure5, format_figure5, Figure5Result
-from repro.experiments.reporting import format_table, format_series
+from repro.experiments.reporting import (
+    format_curves_with_spread,
+    format_series,
+    format_table,
+)
 
 __all__ = [
     "DatasetConfig",
@@ -56,6 +71,7 @@ __all__ = [
     "ExperimentScale",
     "SCALES",
     "SHARD_PRESET_GEOMETRIES",
+    "SWEEP_PRESET_GRIDS",
     "ShardingSpec",
     "resolve_scale",
     "ParallelRunner",
@@ -78,6 +94,14 @@ __all__ = [
     "get_experiment",
     "list_experiments",
     "run_experiments",
+    "KNOB_ALIASES",
+    "SWEEPS",
+    "SweepExperiment",
+    "SweepSpec",
+    "apply_knob",
+    "get_sweep",
+    "resolve_knob",
+    "swept_field",
     "run_table1",
     "format_table1",
     "Table1Result",
@@ -92,4 +116,5 @@ __all__ = [
     "Figure5Result",
     "format_table",
     "format_series",
+    "format_curves_with_spread",
 ]

@@ -1,7 +1,8 @@
 """The unified experiment protocol: jobs, results, and the ``Experiment`` ABC.
 
-Every paper artefact (Table I, Figures 3-5) and every future study follows
-one protocol:
+Every paper artefact (Table I, Figures 3-5), every scenario sweep
+(:mod:`repro.experiments.sweep`) and every future study follows one
+protocol:
 
 * :meth:`Experiment.build_jobs` expands a scale preset and a list of
   :class:`~repro.experiments.scenario.ScenarioSpec` into independent
@@ -118,6 +119,19 @@ class Experiment(ABC):
     name: str = ""
     #: One-line summary shown by ``python -m repro.experiments --list``.
     description: str = ""
+
+    def registration_fingerprint(self):
+        """Identity the registry compares when a name is registered twice.
+
+        Equal fingerprints make re-registration a benign no-op (the same
+        module imported through the package and as ``__main__``); different
+        fingerprints under one name are a conflict.  The default — the class
+        qualname — suits one-class-per-name experiments; parameterised
+        experiment classes (several instances of one class under different
+        configurations, e.g. :class:`~repro.experiments.sweep.SweepExperiment`)
+        must fold their configuration in.
+        """
+        return type(self).__qualname__
 
     # ------------------------------------------------------------- protocol
 

@@ -7,6 +7,7 @@ results::
     python -m repro.experiments table1 figure4 --scale smoke
     python -m repro.experiments --list
     python -m repro.experiments table1 --scenarios noisy-device quantized-adc
+    python -m repro.experiments sweep-adc-bits --scale smoke --mode process
     python -m repro.experiments --scale bench --mode process --output-dir results/
 
 ``scripts/run_experiments.py`` is a thin wrapper around the same entry point.
@@ -83,8 +84,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
-        for name in list_experiments():
-            print(f"{name:10s} {get_experiment(name).description}")
+        names = list_experiments()
+        width = max(len(name) for name in names)
+        for name in names:
+            print(f"{name:{width}s}  {get_experiment(name).description}")
         return 0
     if args.list_scenarios:
         for name in list_scenarios():

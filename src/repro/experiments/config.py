@@ -179,3 +179,36 @@ SHARD_PRESET_GEOMETRIES: Dict[str, Tuple[int, int, str]] = {
     "sharded-2x2": (2, 2, "sequential"),
     "sharded-4x4-tree": (4, 4, "tree"),
 }
+
+
+#: Built-in scenario sweeps registered as ``sweep-*`` experiments:
+#: ``name -> (base scenario preset, knob path, value grid)``.  Kept here as
+#: plain data so the shipped ablation grids are configuration, not
+#: sweep-module code; :mod:`repro.experiments.sweep` turns each entry into a
+#: registered :class:`~repro.experiments.sweep.SweepExperiment`.  Sharding
+#: values are ``(row_shards, col_shards, reduction)`` tuples (``None`` = the
+#: single-tile placement); ``None`` in the ADC grid is the ideal continuous
+#: instrument.  Grids are ordered from the most degraded setting to the most
+#: faithful one, so a healthy leakage curve rises left to right.
+SWEEP_PRESET_GRIDS: Dict[str, Tuple[str, str, Tuple[object, ...]]] = {
+    "sweep-adc-bits": (
+        "paper/mnist-softmax",
+        "adc.bits",
+        (1, 2, 4, 8, None),
+    ),
+    "sweep-read-noise": (
+        "paper/mnist-softmax",
+        "device.read_noise",
+        (0.5, 0.2, 0.1, 0.05, 0.0),
+    ),
+    "sweep-power-noise-defense": (
+        "power-noise-defense",
+        "defense.power_noise_std",
+        (2.0, 1.0, 0.5, 0.25, 0.0),
+    ),
+    "sweep-shard-geometry": (
+        "paper/mnist-softmax",
+        "sharding",
+        (None, (2, 1, "sequential"), (1, 4, "sequential"), (2, 2, "sequential"), (4, 4, "tree")),
+    ),
+}

@@ -1,9 +1,10 @@
 """Experiment registry and the uniform ``run_experiments`` entry point.
 
 Experiments register themselves at import time via :func:`register`; the
-four paper pipelines (``table1``, ``figure3``, ``figure4``, ``figure5``) are
-imported lazily on first lookup so worker processes that unpickle a job can
-resolve its experiment without any caller-side setup.
+four paper pipelines (``table1``, ``figure3``, ``figure4``, ``figure5``) and
+the built-in scenario sweeps (``sweep-*``) are imported lazily on first
+lookup so worker processes that unpickle a job can resolve its experiment
+without any caller-side setup.
 """
 
 from __future__ import annotations
@@ -24,6 +25,7 @@ _BUILTIN_MODULES = (
     "repro.experiments.figure3",
     "repro.experiments.figure4",
     "repro.experiments.figure5",
+    "repro.experiments.sweep",
 )
 
 
@@ -31,11 +33,13 @@ def register(experiment: Union[Experiment, type]) -> Experiment:
     """Register an experiment (class or instance) under its ``name``.
 
     Returns the registered instance, so it can be used as a class decorator.
-    Registering a *different* experiment class under an existing name is
-    rejected; re-registering the same class is a no-op returning the existing
-    instance (this happens legitimately when an experiment module is executed
-    as a script — ``python -m repro.experiments.table1`` imports the module
-    once through the package and once as ``__main__``).
+    Registering a *different* experiment under an existing name is rejected;
+    re-registering an experiment with an equal
+    :meth:`~repro.experiments.base.Experiment.registration_fingerprint` is a
+    no-op returning the existing instance (this happens legitimately when an
+    experiment module is executed as a script — ``python -m
+    repro.experiments.table1`` imports the module once through the package
+    and once as ``__main__``).
     """
     instance = experiment() if isinstance(experiment, type) else experiment
     if not isinstance(instance, Experiment):
@@ -45,7 +49,7 @@ def register(experiment: Union[Experiment, type]) -> Experiment:
     key = str(instance.name).lower()  # lookups are case-insensitive
     existing = _REGISTRY.get(key)
     if existing is not None:
-        if type(existing).__qualname__ == type(instance).__qualname__:
+        if existing.registration_fingerprint() == instance.registration_fingerprint():
             return experiment if isinstance(experiment, type) else existing
         raise ValueError(f"experiment {instance.name!r} is already registered")
     _REGISTRY[key] = instance

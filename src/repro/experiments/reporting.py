@@ -71,6 +71,32 @@ def format_series(
     return format_table(headers, rows, title=title, float_precision=float_precision)
 
 
+def format_curves_with_spread(
+    x_label: str,
+    x_values: Sequence,
+    curves: Mapping[str, Sequence[Sequence[float]]],
+    *,
+    extra: Mapping[str, Sequence[float]] | None = None,
+    title: str | None = None,
+    float_precision: int = 3,
+) -> str:
+    """Render mean±std curves against a shared x axis as a table.
+
+    ``curves`` maps a name to a ``(means, stds)`` pair; each contributes a
+    mean column and a ``<name>±`` spread column.  ``extra`` adds plain
+    single-valued columns (e.g. a clean-accuracy series).
+    """
+    series: Dict[str, Sequence[float]] = {}
+    for name, (means, stds) in curves.items():
+        series[name] = means
+        series[f"{name}±"] = stds
+    for name, values in (extra or {}).items():
+        series[name] = values
+    return format_series(
+        x_label, x_values, series, title=title, float_precision=float_precision
+    )
+
+
 def format_mapping(values: Dict[str, float], *, title: str | None = None) -> str:
     """Render a flat ``name -> value`` mapping."""
     lines = [title] if title else []

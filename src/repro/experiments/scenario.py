@@ -63,6 +63,13 @@ class ScenarioSpec:
         Victim output activation, ``"linear"`` or ``"softmax"``.
     device:
         NVM device model: ``"ideal"``, ``"reram"`` or ``"pcm"``.
+    device_read_noise:
+        Optional override of the device model's per-read conductance
+        fluctuation (relative std).  ``None`` keeps the named device's own
+        :attr:`~repro.crossbar.devices.NVMDeviceModel.read_noise`; a value
+        replaces it, so read-noise ablations sweep the real device physics
+        (every analogue traversal draws a fresh conductance realisation)
+        rather than a measurement-stage proxy.
     mapping_scheme:
         Weight-to-conductance mapping, ``"min_power"`` (the paper's
         assumption) or ``"balanced"`` (the hardware-level defence).
@@ -72,6 +79,12 @@ class ScenarioSpec:
         Crossbar non-ideal effects (stuck cells, IR drop, drift, ...).
     measurement_noise:
         Relative std of the attacker's power-instrument noise.
+    probe_adc_bits:
+        Resolution of the attacker's acquisition ADC in bits (``None`` = an
+        ideal continuous instrument).  This quantises the *power readings*
+        the attacker records; the accelerator's own output ADC
+        (:attr:`adc_bits`) digitises functional outputs only and never
+        touches the analogue supply rail.
     defense:
         ``None`` or one of ``"norm-regularizer"`` (train with the column-norm
         variance penalty), ``"rebalance"`` (post-training projection towards
@@ -94,11 +107,13 @@ class ScenarioSpec:
     dataset: str = "mnist-like"
     activation: str = "softmax"
     device: str = "ideal"
+    device_read_noise: Optional[float] = None
     mapping_scheme: str = "min_power"
     dac_bits: Optional[int] = None
     adc_bits: Optional[int] = None
     nonidealities: NonidealityConfig = IDEAL_NONIDEALITIES
     measurement_noise: float = 0.0
+    probe_adc_bits: Optional[int] = None
     defense: Optional[str] = None
     defense_strength: float = 0.0
     sharding: Optional[ShardingSpec] = None
@@ -131,8 +146,19 @@ class ScenarioSpec:
             raise ValueError(
                 f"defense must be None or one of {_DEFENSES}, got {self.defense!r}"
             )
+        if self.device_read_noise is not None and self.device_read_noise < 0:
+            raise ValueError("device_read_noise must be None or >= 0")
         if self.measurement_noise < 0:
             raise ValueError("measurement_noise must be >= 0")
+        if self.probe_adc_bits is not None and (
+            not isinstance(self.probe_adc_bits, (int, np.integer))
+            or isinstance(self.probe_adc_bits, bool)
+            or self.probe_adc_bits < 1
+        ):
+            raise ValueError(
+                f"probe_adc_bits must be None or a positive int, "
+                f"got {self.probe_adc_bits!r}"
+            )
         if self.defense_strength < 0:
             raise ValueError("defense_strength must be >= 0")
         if self.sharding is not None and not isinstance(self.sharding, ShardingSpec):
@@ -157,11 +183,13 @@ class ScenarioSpec:
         """True when the hardware/defence stack matches the paper's ideal setup."""
         return (
             self.device == "ideal"
+            and self.device_read_noise is None
             and self.mapping_scheme == MappingScheme.MIN_POWER.value
             and self.dac_bits is None
             and self.adc_bits is None
             and self.nonidealities.is_ideal
             and self.measurement_noise == 0.0
+            and self.probe_adc_bits is None
             and self.defense is None
             and (self.sharding is None or self.sharding.is_trivial)
         )
@@ -177,6 +205,18 @@ class ScenarioSpec:
                 value = value.to_dict()
             payload[spec_field.name] = value
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ScenarioSpec":
+        """Inverse of :meth:`to_dict` (nested configs are reconstructed)."""
+        kwargs = dict(payload)
+        nonidealities = kwargs.get("nonidealities")
+        if isinstance(nonidealities, dict):
+            kwargs["nonidealities"] = NonidealityConfig(**nonidealities)
+        sharding = kwargs.get("sharding")
+        if isinstance(sharding, dict):
+            kwargs["sharding"] = ShardingSpec.from_dict(sharding)
+        return cls(**kwargs)
 
     # -------------------------------------------------------------- builders
 
@@ -236,10 +276,17 @@ class ScenarioSpec:
         The paper-ideal scenario passes all-``None`` component arguments so the
         accelerator construction is byte-identical to the legacy pipelines.
         """
+        device = _DEVICES[self.device]
+        if self.device_read_noise is not None:
+            device = replace(device, read_noise=self.device_read_noise)
         mapping = None
-        if self.device != "ideal" or self.mapping_scheme != MappingScheme.MIN_POWER.value:
+        if (
+            self.device != "ideal"
+            or self.device_read_noise is not None
+            or self.mapping_scheme != MappingScheme.MIN_POWER.value
+        ):
             mapping = ConductanceMapping(
-                device=_DEVICES[self.device], scheme=MappingScheme(self.mapping_scheme)
+                device=device, scheme=MappingScheme(self.mapping_scheme)
             )
         nonidealities = None if self.nonidealities.is_ideal else self.nonidealities
         dac = DAC(self.dac_bits) if self.dac_bits is not None else None
@@ -267,16 +314,15 @@ class ScenarioSpec:
         The paper-ideal scenario constructs ``PowerMeasurement(target)`` with
         default arguments, matching the legacy pipelines exactly.
         """
-        if self.measurement_noise == 0.0:
-            measurement = PowerMeasurement(target)
-        else:
-            measurement = PowerMeasurement(
-                target,
-                noise_std=self.measurement_noise,
-                random_state=np.random.default_rng(
-                    [int(random_state) & 0xFFFFFFFF, 0xA7C]
-                ),
+        kwargs: Dict[str, object] = {}
+        if self.measurement_noise > 0.0:
+            kwargs["noise_std"] = self.measurement_noise
+            kwargs["random_state"] = np.random.default_rng(
+                [int(random_state) & 0xFFFFFFFF, 0xA7C]
             )
+        if self.probe_adc_bits is not None:
+            kwargs["quantization_bits"] = self.probe_adc_bits
+        measurement = PowerMeasurement(target, **kwargs)
         return ColumnNormProber(measurement, n_features)
 
 

@@ -44,6 +44,17 @@ class PowerMeasurement:
     n_averages:
         Number of repeated reads averaged per query (averaging reduces the
         effective noise by ``sqrt(n_averages)`` but costs that many queries).
+    quantization_bits:
+        Resolution of the attacker's acquisition ADC, in bits; ``None``
+        (default) models an ideal continuous instrument.  The instrument
+        auto-ranges per acquisition: every :meth:`measure` call snaps its
+        readings to ``2**bits`` uniform levels spanning that batch's observed
+        range (noise included), like an oscilloscope whose vertical scale is
+        fit to the trace.  A batch with zero dynamic range (including any
+        single-sample read) passes through unchanged.  Note this quantizes
+        the *side channel*, independently of the accelerator's own output
+        ADC, which digitises functional outputs only — the supply rail an
+        attacker taps is analogue.
     query_budget:
         Optional hard cap on the number of queries; exceeded measurements
         raise :class:`QueryBudgetExceeded`.
@@ -57,12 +68,16 @@ class PowerMeasurement:
         *,
         noise_std: float = 0.0,
         n_averages: int = 1,
+        quantization_bits: Optional[int] = None,
         query_budget: Optional[int] = None,
         random_state: RandomState = None,
     ):
         self.target = target
         self.noise_std = check_non_negative(noise_std, "noise_std")
         self.n_averages = check_positive_int(n_averages, "n_averages")
+        if quantization_bits is not None:
+            check_positive_int(quantization_bits, "quantization_bits")
+        self.quantization_bits = quantization_bits
         if query_budget is not None:
             check_positive_int(query_budget, "query_budget")
         self.query_budget = query_budget
@@ -120,7 +135,21 @@ class PowerMeasurement:
             scale = np.mean(np.abs(readings)) if np.any(readings) else 1.0
             effective_std = self.noise_std * scale / np.sqrt(self.n_averages)
             readings = readings + self._rng.normal(0.0, effective_std, size=readings.shape)
+        readings = self._quantize(readings)
         return float(readings[0]) if single else readings
+
+    def _quantize(self, readings: np.ndarray) -> np.ndarray:
+        """Snap readings to the acquisition ADC's uniform levels (auto-ranged)."""
+        if self.quantization_bits is None:
+            return readings
+        low = float(readings.min())
+        high = float(readings.max())
+        if high <= low:
+            return readings
+        steps = 2**self.quantization_bits - 1
+        span = high - low
+        indices = np.rint((readings - low) / span * steps)
+        return low + indices * span / steps
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

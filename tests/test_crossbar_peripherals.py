@@ -101,3 +101,28 @@ class TestPowerModel:
                 energy=np.zeros(2),
                 per_tile_current=np.zeros((2, 1)),
             )
+
+    def test_current_for_unknown_label_names_available_labels(self):
+        """Regression: the KeyError must list the labels that do exist."""
+        report = PowerReport(
+            total_current=np.ones(2),
+            power=np.ones(2),
+            energy=np.ones(2),
+            per_tile_current=np.ones((2, 2)),
+            tile_labels=("layer0", "layer1"),
+        )
+        with pytest.raises(KeyError) as excinfo:
+            report.current_for("layer7")
+        message = str(excinfo.value)
+        assert "layer7" in message
+        assert "layer0" in message and "layer1" in message
+
+    def test_current_for_without_labels(self):
+        report = PowerReport(
+            total_current=np.ones(2),
+            power=np.ones(2),
+            energy=np.ones(2),
+            per_tile_current=np.ones((2, 1)),
+        )
+        with pytest.raises(ValueError, match="no tile labels"):
+            report.current_for("layer0")

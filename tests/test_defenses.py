@@ -194,6 +194,62 @@ class TestEvaluation:
         )
         assert advantage > 0.03
 
+    def test_zero_variance_leaked_norms_give_zero_leakage(self, trained_softmax):
+        """A fully jammed/quantised channel must score 0.0, not NaN."""
+
+        class _ConstantTarget:
+            def total_current(self, inputs):
+                return np.full(len(np.atleast_2d(inputs)), 3.0)
+
+        leakage = leakage_correlation(_ConstantTarget(), trained_softmax)
+        assert leakage == 0.0
+        # the precomputed-norms path hits the same guard
+        n = trained_softmax.layers[0].n_inputs
+        assert (
+            leakage_correlation(None, trained_softmax, leaked_norms=np.zeros(n)) == 0.0
+        )
+
+    def test_constant_weight_victim_gives_zero_leakage(self, trained_softmax, accelerator):
+        """Zero-variance *true* norms (constant weights) must score 0.0, not NaN."""
+        constant = trained_softmax.clone_architecture(random_state=0)
+        constant.weights = np.full_like(trained_softmax.weights, 0.5)
+        leakage = leakage_correlation(accelerator, constant)
+        assert leakage == 0.0 and np.isfinite(leakage)
+
+    def test_non_finite_readings_give_zero_leakage(self, trained_softmax):
+        n = trained_softmax.layers[0].n_inputs
+        leaked = np.linspace(0.0, 1.0, n)
+        leaked[0] = np.nan
+        assert (
+            leakage_correlation(None, trained_softmax, leaked_norms=leaked) == 0.0
+        )
+
+    def test_precomputed_norms_match_probing_path(self, trained_softmax, accelerator, mnist_small):
+        """Scoring a caller-supplied acquisition equals probing in-place."""
+        prober = ColumnNormProber(PowerMeasurement(accelerator), mnist_small.n_features)
+        leaked = prober.probe_all().column_sums
+        assert leakage_correlation(
+            accelerator, trained_softmax, leaked_norms=leaked
+        ) == pytest.approx(leakage_correlation(accelerator, trained_softmax))
+
+    def test_attack_advantage_deterministic_under_fixed_seed(
+        self, trained_softmax, accelerator, mnist_small
+    ):
+        prober = ColumnNormProber(PowerMeasurement(accelerator), mnist_small.n_features)
+        leaked = prober.probe_all().column_sums
+        advantages = [
+            single_pixel_attack_advantage(
+                trained_softmax,
+                leaked,
+                mnist_small.test_inputs,
+                mnist_small.test_targets,
+                strength=8.0,
+                random_state=123,
+            )
+            for _ in range(2)
+        ]
+        assert advantages[0] == advantages[1]
+
     def test_evaluate_defense_report(self, trained_softmax, accelerator, mnist_small):
         undefended = evaluate_defense(
             "none",

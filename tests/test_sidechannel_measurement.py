@@ -74,6 +74,65 @@ class TestMeasurement:
             PowerMeasurement(target, n_averages=0)
         with pytest.raises(ValueError):
             PowerMeasurement(target, query_budget=0)
+        with pytest.raises(ValueError):
+            PowerMeasurement(target, quantization_bits=0)
+
+
+class TestAcquisitionQuantization:
+    """The attacker's acquisition ADC (quantization_bits)."""
+
+    def test_batch_snapped_to_level_count(self, rng):
+        target = _StaticTarget([1.0, 2.0])
+        measurement = PowerMeasurement(target, quantization_bits=2)
+        readings = measurement.measure(rng.uniform(size=(64, 2)))
+        assert len(np.unique(readings)) <= 4  # 2 bits -> at most 4 levels
+
+    def test_quantization_preserves_batch_range(self, rng):
+        target = _StaticTarget([1.0, 2.0])
+        batch = rng.uniform(size=(32, 2))
+        exact = PowerMeasurement(target).measure(batch)
+        quantized = PowerMeasurement(target, quantization_bits=3).measure(batch)
+        assert quantized.min() == pytest.approx(exact.min())
+        assert quantized.max() == pytest.approx(exact.max())
+        assert np.all(np.abs(quantized - exact) <= (exact.max() - exact.min()) / 7)
+
+    def test_none_bits_is_exact(self, rng):
+        target = _StaticTarget([1.0, 2.0])
+        batch = rng.uniform(size=(16, 2))
+        np.testing.assert_array_equal(
+            PowerMeasurement(target, quantization_bits=None).measure(batch),
+            PowerMeasurement(target).measure(batch),
+        )
+
+    def test_zero_range_batch_passes_through(self):
+        target = _StaticTarget([1.0, 1.0])
+        measurement = PowerMeasurement(target, quantization_bits=4)
+        batch = np.ones((5, 2))  # identical rows -> zero dynamic range
+        np.testing.assert_allclose(measurement.measure(batch), 2.0)
+        # single reads auto-range to a point as well
+        assert measurement.measure(np.ones(2)) == pytest.approx(2.0)
+
+    def test_one_bit_collapses_to_extremes(self, rng):
+        target = _StaticTarget([1.0, 2.0])
+        batch = rng.uniform(size=(32, 2))
+        exact = PowerMeasurement(target).measure(batch)
+        readings = PowerMeasurement(target, quantization_bits=1).measure(batch)
+        assert set(np.round(np.unique(readings), 12)) <= {
+            round(exact.min(), 12),
+            round(exact.max(), 12),
+        }
+
+    def test_fewer_bits_degrade_column_norm_leakage(self, rng):
+        """The sweep premise: coarser acquisition -> weaker correlation."""
+        column_sums = rng.uniform(0.5, 2.0, size=24)
+        target = _StaticTarget(column_sums)
+        basis = np.eye(24)
+        correlations = []
+        for bits in (1, 3, None):
+            readings = PowerMeasurement(target, quantization_bits=bits).measure(basis)
+            correlations.append(np.corrcoef(readings, column_sums)[0, 1])
+        assert correlations[0] < correlations[1] <= correlations[2]
+        assert correlations[2] == pytest.approx(1.0)
 
     def test_works_against_real_crossbar(self, rng):
         weights = rng.normal(size=(4, 6))
