@@ -11,6 +11,7 @@ non-zero when any gate fails::
                                              [--min-peak-speedup 2.0]
                                              [--min-probing-speedup 1.0]
                                              [--max-sharded-ratio 1.2]
+                                             [--min-service-speedup 2.0]
 
 ``--tolerance`` applies a uniform fractional slack to every threshold
 (speedup floors become ``floor * (1 - t)``, ratio ceilings become
@@ -39,6 +40,10 @@ Gated sections:
   must be bit-identical to the serial sweep, both wall times must be
   recorded, and the recorded leakage curve must be monotonicity-sane
   (leakage rises with acquisition fidelity).
+* ``bench_service`` — the async coalescing query service: serviced responses
+  must have been verified bit-identical to direct seeded queries, and the
+  best throughput at offered concurrency >= 8 must beat the
+  one-request-per-call baseline by ``--min-service-speedup`` (default 2.0x).
 
 Sections other than ``engine`` are only checked when present, so a partial
 benchmark run stays usable; ``engine`` is always required.
@@ -59,6 +64,7 @@ DEFAULT_THRESHOLDS = {
     "min_peak_speedup": 2.0,
     "min_probing_speedup": 1.0,
     "max_sharded_ratio": 1.2,
+    "min_service_speedup": 2.0,
 }
 
 
@@ -101,6 +107,7 @@ def check_results(
     min_peak_speedup = thresholds["min_peak_speedup"]
     min_probing_speedup = thresholds["min_probing_speedup"]
     max_sharded_ratio = thresholds["max_sharded_ratio"]
+    min_service_speedup = thresholds["min_service_speedup"]
 
     failures: list[str] = []
     failures.extend(_check_probing_section(results, min_probing_speedup))
@@ -108,6 +115,7 @@ def check_results(
     failures.extend(_check_experiments_section(results))
     failures.extend(_check_sharding_section(results, max_sharded_ratio))
     failures.extend(_check_sweeps_section(results))
+    failures.extend(_check_service_section(results, min_service_speedup))
     engine = results.get("engine")
     if engine is None:
         return failures + [
@@ -255,6 +263,42 @@ def _check_sweeps_section(results: dict) -> list[str]:
     return failures
 
 
+def _check_service_section(results: dict, min_service_speedup: float) -> list[str]:
+    """Gate the coalescing timings recorded by benchmarks/bench_service.py."""
+    payload = results.get("bench_service")
+    if payload is None:
+        return []
+    failures: list[str] = []
+    if payload.get("responses_identical") is not True:
+        failures.append(
+            "bench_service: serviced responses were not verified bit-identical "
+            "to direct seeded queries"
+        )
+    direct = payload.get("direct_s")
+    if not isinstance(direct, (int, float)) or direct <= 0:
+        failures.append("bench_service has no positive 'direct_s' wall time")
+    rows = payload.get("concurrency", [])
+    if not rows:
+        failures.append("bench_service recorded no concurrency rows")
+    eligible = [
+        row.get("speedup_vs_direct")
+        for row in rows
+        if isinstance(row.get("concurrency"), int) and row["concurrency"] >= 8
+    ]
+    eligible = [value for value in eligible if isinstance(value, (int, float))]
+    if rows and not eligible:
+        failures.append(
+            "bench_service recorded no rows at offered concurrency >= 8"
+        )
+    if eligible and max(eligible) < min_service_speedup:
+        failures.append(
+            f"coalescing service best speedup {max(eligible):.2f}x at "
+            f"concurrency >= 8 is below the required "
+            f"{min_service_speedup:.2f}x vs one-request-per-call"
+        )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--path", type=Path, default=DEFAULT_PATH)
@@ -289,6 +333,11 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=DEFAULT_THRESHOLDS["max_sharded_ratio"],
     )
+    parser.add_argument(
+        "--min-service-speedup",
+        type=float,
+        default=DEFAULT_THRESHOLDS["min_service_speedup"],
+    )
     args = parser.parse_args(argv)
     if args.tolerance < 0:
         parser.error("--tolerance must be >= 0")
@@ -298,6 +347,7 @@ def main(argv: list[str] | None = None) -> int:
         "min_peak_speedup": args.min_peak_speedup,
         "min_probing_speedup": args.min_probing_speedup,
         "max_sharded_ratio": args.max_sharded_ratio,
+        "min_service_speedup": args.min_service_speedup,
     }
 
     if not args.path.exists():

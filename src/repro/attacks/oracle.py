@@ -36,8 +36,14 @@ import numpy as np
 from repro.crossbar.accelerator import CrossbarAccelerator
 from repro.datasets.transforms import one_hot
 from repro.nn.network import Sequential
-from repro.utils.rng import RandomState, as_rng
-from repro.utils.validation import check_non_negative
+from repro.sidechannel.measurement import QueryBudgetExceeded
+from repro.utils.rng import RandomState, as_rng, sample_stream
+from repro.utils.validation import check_non_negative, check_positive_int
+
+#: Stream-path domain tag for the oracle's instrument noise.
+_ORACLE_DOMAIN = 2
+_TOTAL_CHANNEL = 0
+_PER_TILE_CHANNEL = 1
 
 
 @dataclass
@@ -102,7 +108,17 @@ class Oracle:
         individually observable).  Only hardware targets have tiles; software
         targets ignore this flag.  Requires ``expose_power``.
     power_noise_std:
-        Relative measurement noise added to the power observations.
+        Relative measurement noise added to the power observations.  The
+        noise magnitude scales with *each observation's own* magnitude
+        (zero observations fall back to unit scale), never with a batch
+        aggregate — so splitting or merging a batch cannot change any
+        individual measurement's noise level.
+    query_budget:
+        Optional hard cap on the number of queried inputs; queries that would
+        exceed it raise
+        :class:`~repro.sidechannel.measurement.QueryBudgetExceeded` before
+        touching the hardware.  Queries are charged only after a successful
+        traversal — a failing forward costs the attacker nothing.
     random_state:
         Seed for the measurement noise.
     """
@@ -117,6 +133,7 @@ class Oracle:
         expose_power: bool = True,
         expose_per_tile_power: bool = False,
         power_noise_std: float = 0.0,
+        query_budget: Optional[int] = None,
         random_state: RandomState = None,
     ):
         output_mode = str(output_mode).lower()
@@ -131,8 +148,16 @@ class Oracle:
         self.expose_power = bool(expose_power)
         self.expose_per_tile_power = bool(expose_per_tile_power)
         self.power_noise_std = check_non_negative(power_noise_std, "power_noise_std")
+        if query_budget is not None:
+            check_positive_int(query_budget, "query_budget")
+        self.query_budget = query_budget
         self._rng = as_rng(random_state)
         self._queries_used = 0
+        # Hardware-like targets expose the fused traversal; this also admits
+        # wrappers such as PowerNoiseDefense that decorate an accelerator.
+        self._hardware = isinstance(target, CrossbarAccelerator) or hasattr(
+            target, "forward_with_power"
+        )
 
         self._n_outputs = target.n_outputs
 
@@ -142,6 +167,23 @@ class Oracle:
     def queries_used(self) -> int:
         """Number of inputs queried so far."""
         return self._queries_used
+
+    @property
+    def queries_remaining(self) -> Optional[int]:
+        """Remaining budget, or ``None`` when unbounded."""
+        if self.query_budget is None:
+            return None
+        return max(0, self.query_budget - self._queries_used)
+
+    def _check_budget(self, n_queries: int) -> None:
+        if (
+            self.query_budget is not None
+            and self._queries_used + n_queries > self.query_budget
+        ):
+            raise QueryBudgetExceeded(
+                f"query of {n_queries} inputs would exceed the budget of "
+                f"{self.query_budget} (already used {self._queries_used})"
+            )
 
     def reset_counter(self) -> None:
         """Reset the query counter."""
@@ -154,51 +196,120 @@ class Oracle:
 
     # -------------------------------------------------------------- queries
 
-    def _forward(self, inputs: np.ndarray) -> np.ndarray:
-        if isinstance(self.target, CrossbarAccelerator):
+    def _forward(self, inputs: np.ndarray, seeds=None) -> np.ndarray:
+        if self._hardware:
+            if seeds is not None:
+                return np.atleast_2d(self.target.forward(inputs, sample_seeds=seeds))
             return np.atleast_2d(self.target.forward(inputs))
         return np.atleast_2d(self.target.predict(inputs))
 
-    def _apply_power_noise(self, power: np.ndarray) -> np.ndarray:
-        if self.power_noise_std > 0:
-            scale = np.mean(np.abs(power)) if np.any(power) else 1.0
-            power = power + self._rng.normal(
-                0.0, self.power_noise_std * scale, size=power.shape
-            )
-        return power
+    def _apply_power_noise(
+        self, power: np.ndarray, seeds=None, channel: int = _TOTAL_CHANNEL
+    ) -> np.ndarray:
+        """Add instrument noise scaled by each observation's own magnitude.
 
-    def _power(self, inputs: np.ndarray) -> np.ndarray:
-        if isinstance(self.target, CrossbarAccelerator):
-            power = np.atleast_1d(self.target.total_current(inputs))
+        The scale is per element (zero observations fall back to 1.0), so a
+        measurement's noise level never depends on what else happened to be
+        in the batch.  With per-request ``seeds``, row ``i``'s draw comes
+        from a stream derived from ``seeds[i]`` — independent of batch
+        composition and call order — instead of the oracle's generator.
+        """
+        if self.power_noise_std <= 0:
+            return power
+        scale = np.abs(power)
+        scale = np.where(scale > 0, scale, 1.0)
+        if seeds is None:
+            noise = self._rng.normal(0.0, 1.0, size=power.shape)
         else:
-            # Ideal-crossbar analytic value: i_total = Σ_j u_j Σ_i |w_ij|
-            column_norms = np.abs(self.target.layers[0].weights).sum(axis=0)
-            power = np.atleast_2d(inputs) @ column_norms
-        return self._apply_power_noise(power)
+            noise = np.empty(power.shape)
+            for i, seed in enumerate(np.asarray(seeds, dtype=np.uint64)):
+                stream = sample_stream(seed, _ORACLE_DOMAIN, channel)
+                noise[i] = stream.normal(0.0, 1.0, size=power[i].shape)
+        return power + self.power_noise_std * scale * noise
 
-    def query(self, inputs: np.ndarray) -> OracleResponse:
+    def _power(self, inputs: np.ndarray, seeds=None) -> np.ndarray:
+        if self._hardware:
+            if seeds is not None:
+                power = np.atleast_1d(
+                    self.target.total_current(inputs, sample_seeds=seeds)
+                )
+            else:
+                power = np.atleast_1d(self.target.total_current(inputs))
+        else:
+            power = self._analytic_power(inputs)
+        return self._apply_power_noise(power, seeds)
+
+    def _analytic_power(self, inputs: np.ndarray) -> np.ndarray:
+        """Ideal-crossbar analytic power, summed over *every* layer.
+
+        Per layer, ``i_total = Σ_j u_j Σ_i |w_ij|`` with ``u`` the layer's
+        input activations; the observable supply current of a multi-layer
+        accelerator is the sum of the per-layer tile currents, so the
+        software model propagates activations and accumulates each layer's
+        contribution (a single-layer network reduces to the historical
+        ``inputs @ column_norms``).
+        """
+        activations = np.atleast_2d(inputs)
+        total = np.zeros(len(activations))
+        for layer in self.target.layers:
+            column_norms = np.abs(layer.weights).sum(axis=0)
+            total = total + activations @ column_norms
+            activations = np.atleast_2d(layer.forward(activations))
+        return total
+
+    def query(self, inputs: np.ndarray, *, seeds=None) -> OracleResponse:
         """Query the oracle with a batch of inputs.
 
         Hardware targets with power exposed take the fused path: outputs and
         power are measured in one accelerator traversal per batch.
+
+        Parameters
+        ----------
+        inputs:
+            ``(Q, N)`` query batch (a single ``(N,)`` vector is promoted).
+        seeds:
+            Optional per-row noise seeds (one ``uint64`` per query), as
+            derived by :func:`~repro.utils.rng.derive_request_seeds`.  When
+            given, every stochastic effect along the measurement path is
+            keyed on the row's seed, so against hardware targets each row's
+            response is bit-identical no matter how the rows are batched —
+            the contract the coalescing query service relies on.  (Software
+            ``Sequential`` targets remain subject to BLAS batch-shape
+            rounding in the forward pass itself.)
         """
         inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
-        self._queries_used += len(inputs)
+        if seeds is not None:
+            seeds = np.asarray(seeds, dtype=np.uint64)
+            if seeds.ndim != 1 or len(seeds) != len(inputs):
+                raise ValueError(
+                    f"seeds must be 1-D with one entry per query row "
+                    f"({len(inputs)}), got shape {seeds.shape}"
+                )
+        self._check_budget(len(inputs))
 
         per_tile_power = None
         metadata = {"expose_power": self.expose_power}
-        if self.expose_power and isinstance(self.target, CrossbarAccelerator):
-            raw_outputs, report = self.target.forward_with_power(inputs)
+        if self.expose_power and self._hardware:
+            if seeds is not None:
+                raw_outputs, report = self.target.forward_with_power(
+                    inputs, sample_seeds=seeds
+                )
+            else:
+                raw_outputs, report = self.target.forward_with_power(inputs)
             raw_outputs = np.atleast_2d(raw_outputs)
-            power = self._apply_power_noise(np.atleast_1d(report.total_current))
+            power = self._apply_power_noise(np.atleast_1d(report.total_current), seeds)
             if self.expose_per_tile_power:
                 per_tile_power = self._apply_power_noise(
-                    np.atleast_2d(report.per_tile_current)
+                    np.atleast_2d(report.per_tile_current), seeds, _PER_TILE_CHANNEL
                 )
                 metadata["tile_labels"] = report.tile_labels
         else:
-            raw_outputs = self._forward(inputs)
-            power = self._power(inputs) if self.expose_power else None
+            raw_outputs = self._forward(inputs, seeds)
+            power = self._power(inputs, seeds) if self.expose_power else None
+
+        # Charge only after the traversal succeeded: a failing forward (bad
+        # input width, budget-free hardware fault) must not cost the attacker.
+        self._queries_used += len(inputs)
 
         labels = np.argmax(raw_outputs, axis=1)
         if self.output_mode == "raw":

@@ -124,6 +124,11 @@ class CrossbarAccelerator:
             for layer, rng, spec in zip(network.layers, rngs, layer_sharding)
         ]
         self._tile_labels = self._build_tile_labels()
+        # Distinct per-physical-array noise tags (label order), so seeded
+        # queries derive statistically independent streams per tile even
+        # though every tile shares the request's per-row seeds.
+        for tag, array in enumerate(self.physical_arrays):
+            array.noise_tag = tag
 
     # ----------------------------------------------------------- properties
 
@@ -171,6 +176,12 @@ class CrossbarAccelerator:
         return tuple(labels)
 
     @property
+    def physical_arrays(self) -> List:
+        """Every physical :class:`~repro.crossbar.array.CrossbarArray`, in
+        power-report column order (matches :attr:`tile_labels`)."""
+        return [array for tile in self.tiles for array in tile.physical_arrays]
+
+    @property
     def n_array_operations(self) -> int:
         """Summed analogue array traversals across all physical tiles."""
         return sum(tile.n_array_operations for tile in self.tiles)
@@ -186,11 +197,17 @@ class CrossbarAccelerator:
         inputs = np.asarray(inputs, dtype=float)
         return np.atleast_2d(inputs), inputs.ndim == 1
 
-    def forward(self, inputs: np.ndarray) -> np.ndarray:
-        """Run inputs through every tile in sequence."""
+    def forward(self, inputs: np.ndarray, *, sample_seeds=None) -> np.ndarray:
+        """Run inputs through every tile in sequence.
+
+        ``sample_seeds`` (one seed per batch row) keys every tile's noise on
+        the row's seed instead of the tile generators, making row outputs
+        independent of batch composition — see
+        :meth:`~repro.crossbar.array.CrossbarArray.matvec_with_current`.
+        """
         activations, single = self._as_batch(inputs)
         for tile in self.tiles:
-            activations = tile.forward_batch(activations)
+            activations = tile.forward_batch(activations, sample_seeds=sample_seeds)
         return activations[0] if single else activations
 
     def predict(self, inputs: np.ndarray) -> np.ndarray:
@@ -208,7 +225,7 @@ class CrossbarAccelerator:
     # ---------------------------------------------------------- power channel
 
     def forward_with_power(
-        self, inputs: np.ndarray
+        self, inputs: np.ndarray, *, sample_seeds=None
     ) -> Tuple[np.ndarray, PowerReport]:
         """Fused forward pass + power measurement in a single traversal.
 
@@ -231,7 +248,9 @@ class CrossbarAccelerator:
         per_tile_currents: List[np.ndarray] = []
         layer_currents: List[np.ndarray] = []
         for tile in self.tiles:
-            activations, shard_currents = tile.forward_with_power_shards(activations)
+            activations, shard_currents = tile.forward_with_power_shards(
+                activations, sample_seeds=sample_seeds
+            )
             per_tile_currents.extend(
                 shard_currents[:, k] for k in range(shard_currents.shape[1])
             )
@@ -242,7 +261,7 @@ class CrossbarAccelerator:
         )
         return (activations[0] if single else activations), report
 
-    def power_trace(self, inputs: np.ndarray) -> PowerReport:
+    def power_trace(self, inputs: np.ndarray, *, sample_seeds=None) -> PowerReport:
         """Measure the power side channel for a batch of inputs.
 
         The report contains the per-physical-tile and summed total currents
@@ -251,10 +270,10 @@ class CrossbarAccelerator:
         traversed once (not once for power and once for activations as in
         the legacy two-pass engine).
         """
-        _, report = self.forward_with_power(inputs)
+        _, report = self.forward_with_power(inputs, sample_seeds=sample_seeds)
         return report
 
-    def total_current(self, inputs: np.ndarray) -> np.ndarray:
+    def total_current(self, inputs: np.ndarray, *, sample_seeds=None) -> np.ndarray:
         """Summed total current per input (convenience wrapper).
 
         Returns
@@ -266,7 +285,7 @@ class CrossbarAccelerator:
             of tiles.
         """
         single = np.asarray(inputs).ndim == 1
-        report = self.power_trace(inputs)
+        report = self.power_trace(inputs, sample_seeds=sample_seeds)
         if single:
             return float(report.total_current[0])
         return report.total_current

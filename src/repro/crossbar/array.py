@@ -43,8 +43,14 @@ import numpy as np
 from repro.crossbar.devices import NVMDeviceModel
 from repro.crossbar.mapping import ConductanceMapping
 from repro.crossbar.nonidealities import NonidealityConfig
-from repro.utils.rng import RandomState, as_rng
+from repro.utils.rng import RandomState, as_rng, sample_stream
 from repro.utils.validation import check_matrix
+
+#: Stream-path domain tag for array-level noise (see :func:`sample_stream`).
+_ARRAY_DOMAIN = 1
+#: Channel tags within the array domain.
+_READ_CHANNEL = 0
+_RAIL_CHANNEL = 1
 
 
 class _EffectiveState(NamedTuple):
@@ -108,6 +114,7 @@ class CrossbarArray:
         self._state_cache: Optional[_EffectiveState] = None
         self._n_operations = 0
         self._n_realizations = 0
+        self.noise_tag = 0
 
         self.g_plus, self.g_minus = self.mapping.map(weights, random_state=self._rng)
         self._apply_static_nonidealities()
@@ -163,6 +170,7 @@ class CrossbarArray:
         array._state_cache = None
         array._n_operations = 0
         array._n_realizations = 0
+        array.noise_tag = 0
         return array
 
     # ----------------------------------------------------------- properties
@@ -311,13 +319,88 @@ class CrossbarArray:
             )
         return currents
 
-    def matvec(self, voltages: np.ndarray) -> np.ndarray:
+    # ------------------------------------------------------ seeded operations
+
+    def _validate_seeds(self, sample_seeds, batch: np.ndarray) -> np.ndarray:
+        seeds = np.asarray(sample_seeds, dtype=np.uint64)
+        if seeds.ndim != 1 or len(seeds) != len(batch):
+            raise ValueError(
+                f"sample_seeds must be 1-D with one seed per batch row "
+                f"({len(batch)}), got shape {seeds.shape}"
+            )
+        return seeds
+
+    def _seeded_compute(
+        self,
+        batch: np.ndarray,
+        sample_seeds: np.ndarray,
+        *,
+        want_outputs: bool,
+        want_totals: bool,
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        """One array traversal whose noise is keyed on per-row seeds.
+
+        Every stochastic effect along the path — read-noise conductance
+        realizations and rail measurement noise — is drawn from a stream
+        derived from ``(row seed, noise_tag, channel)`` instead of the
+        array's own generator, making row ``i``'s observables a pure function
+        of ``(batch[i], sample_seeds[i])``: independent of batch composition
+        and of any previous operation.  Row-noise-free arrays reuse the
+        cached effective state, so the deterministic fast path is untouched.
+        """
+        seeds = self._validate_seeds(sample_seeds, batch)
+        self._n_operations += 1
+        if self.device.read_noise == 0:
+            state = self._realize_state()
+            # einsum, not BLAS matmul: its per-row reduction order does not
+            # depend on the batch size, so a row's result is bitwise the same
+            # whether it is computed alone or inside a coalesced batch (BLAS
+            # gemm/gemv pick different kernels per shape and break that).
+            outputs = (
+                np.einsum("ij,kj->ik", batch, state.effective)
+                if want_outputs
+                else None
+            )
+            totals = (
+                np.einsum("ij,j->i", batch, state.column_sums)
+                if want_totals
+                else None
+            )
+        else:
+            outputs = (
+                np.empty((len(batch), self.n_rows)) if want_outputs else None
+            )
+            totals = np.empty(len(batch)) if want_totals else None
+            for i, (row, seed) in enumerate(zip(batch, seeds)):
+                rng = sample_stream(seed, _ARRAY_DOMAIN, self.noise_tag, _READ_CHANNEL)
+                g_plus = self.device.apply_read_noise(self.g_plus, rng)
+                g_minus = self.device.apply_read_noise(self.g_minus, rng)
+                attenuation = self._ir_drop_attenuation(g_plus, g_minus)
+                self._n_realizations += 1
+                if want_outputs:
+                    outputs[i] = ((g_plus - g_minus) * attenuation) @ row
+                if want_totals:
+                    column_sums = ((g_plus + g_minus) * attenuation).sum(axis=0)
+                    totals[i] = row @ column_sums
+        noise = self.nonidealities.current_measurement_noise
+        if want_totals and noise > 0:
+            for i, seed in enumerate(seeds):
+                rng = sample_stream(seed, _ARRAY_DOMAIN, self.noise_tag, _RAIL_CHANNEL)
+                totals[i] = totals[i] * (1.0 + rng.normal(0.0, noise))
+        return outputs, totals
+
+    def matvec(
+        self, voltages: np.ndarray, *, sample_seeds=None
+    ) -> np.ndarray:
         """Differential crossbar output currents for a batch of input voltages.
 
         Parameters
         ----------
         voltages:
             ``(N,)`` or ``(B, N)`` input voltage vector(s).
+        sample_seeds:
+            Optional per-row noise seeds (see :meth:`_seeded_compute`); the
+            default draws from the array's own generator as before.
 
         Returns
         -------
@@ -325,26 +408,38 @@ class CrossbarArray:
             Output currents ``(M,)`` or ``(B, M)``.
         """
         batch, single = self._validate_batch(voltages)
-        state = self._realize_state()
-        self._n_operations += 1
-        currents = batch @ state.effective.T
+        if sample_seeds is not None:
+            currents, _ = self._seeded_compute(
+                batch, sample_seeds, want_outputs=True, want_totals=False
+            )
+        else:
+            state = self._realize_state()
+            self._n_operations += 1
+            currents = batch @ state.effective.T
         return currents[0] if single else currents
 
-    def total_current(self, voltages: np.ndarray) -> np.ndarray:
+    def total_current(
+        self, voltages: np.ndarray, *, sample_seeds=None
+    ) -> np.ndarray:
         """Total steady-state current drawn for each input vector (Eq. 5).
 
         This is the paper's "power information": ``i_total = Σ_j v_j G_j``
         with ``G_j`` the per-column conductance sum, plus optional measurement
-        noise.
+        noise (drawn per row from ``sample_seeds`` streams when given).
         """
         batch, single = self._validate_batch(voltages)
-        state = self._realize_state()
-        self._n_operations += 1
-        currents = self._apply_measurement_noise(batch @ state.column_sums)
+        if sample_seeds is not None:
+            _, currents = self._seeded_compute(
+                batch, sample_seeds, want_outputs=False, want_totals=True
+            )
+        else:
+            state = self._realize_state()
+            self._n_operations += 1
+            currents = self._apply_measurement_noise(batch @ state.column_sums)
         return float(currents[0]) if single else currents
 
     def matvec_with_current(
-        self, voltages: np.ndarray
+        self, voltages: np.ndarray, *, sample_seeds=None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Fused MVM + total current from a *single* conductance realization.
 
@@ -352,6 +447,9 @@ class CrossbarArray:
         same inputs, except that both observables are derived from one read —
         one array traversal, and (with read noise enabled) one shared noise
         draw, so the outputs and the power channel are physically consistent.
+        With ``sample_seeds`` the noise is keyed per row instead (each row's
+        observables then come from its own seeded realization), which is what
+        makes coalesced service batches bit-identical to per-request queries.
 
         Returns
         -------
@@ -360,10 +458,15 @@ class CrossbarArray:
             ``(B,)`` for a batch.
         """
         batch, single = self._validate_batch(voltages)
-        state = self._realize_state()
-        self._n_operations += 1
-        outputs = batch @ state.effective.T
-        totals = self._apply_measurement_noise(batch @ state.column_sums)
+        if sample_seeds is not None:
+            outputs, totals = self._seeded_compute(
+                batch, sample_seeds, want_outputs=True, want_totals=True
+            )
+        else:
+            state = self._realize_state()
+            self._n_operations += 1
+            outputs = batch @ state.effective.T
+            totals = self._apply_measurement_noise(batch @ state.column_sums)
         if single:
             return outputs[0], float(totals[0])
         return outputs, totals

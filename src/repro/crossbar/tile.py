@@ -52,18 +52,22 @@ from repro.utils.rng import RandomState, as_rng, spawn_rngs
 
 # Module-level shard kernels so a thread-pool ParallelRunner can map over
 # them (and so the runner's pickling probe succeeds).
-def _shard_matvec(array: CrossbarArray, voltages: np.ndarray) -> np.ndarray:
-    return array.matvec(voltages)
+def _shard_matvec(
+    array: CrossbarArray, voltages: np.ndarray, sample_seeds=None
+) -> np.ndarray:
+    return array.matvec(voltages, sample_seeds=sample_seeds)
 
 
 def _shard_matvec_with_current(
-    array: CrossbarArray, voltages: np.ndarray
+    array: CrossbarArray, voltages: np.ndarray, sample_seeds=None
 ) -> Tuple[np.ndarray, np.ndarray]:
-    return array.matvec_with_current(voltages)
+    return array.matvec_with_current(voltages, sample_seeds=sample_seeds)
 
 
-def _shard_total_current(array: CrossbarArray, voltages: np.ndarray) -> np.ndarray:
-    return array.total_current(voltages)
+def _shard_total_current(
+    array: CrossbarArray, voltages: np.ndarray, sample_seeds=None
+) -> np.ndarray:
+    return array.total_current(voltages, sample_seeds=sample_seeds)
 
 
 class CrossbarTile:
@@ -156,6 +160,11 @@ class CrossbarTile:
         return [self.array.shape]
 
     @property
+    def physical_arrays(self) -> List[CrossbarArray]:
+        """Every physical :class:`CrossbarArray`, row-major shard order."""
+        return [self.array]
+
+    @property
     def column_conductance_sums(self) -> np.ndarray:
         """Per-logical-input column conductance sums (bias column excluded)."""
         sums = self.array.column_conductance_sums
@@ -193,9 +202,13 @@ class CrossbarTile:
             currents = self.adc.convert(currents)
         return currents * self._current_to_logical
 
-    def pre_activation_batch(self, batch: np.ndarray) -> np.ndarray:
+    def pre_activation_batch(
+        self, batch: np.ndarray, *, sample_seeds=None
+    ) -> np.ndarray:
         """Analogue MVM for a ``(B, n_inputs)`` batch; always returns 2-D."""
-        return self._to_logical(self.array.matvec(self._line_voltages(batch)))
+        return self._to_logical(
+            self.array.matvec(self._line_voltages(batch), sample_seeds=sample_seeds)
+        )
 
     def pre_activation(self, inputs: np.ndarray) -> np.ndarray:
         """Analogue MVM result converted back to the logical weight domain."""
@@ -203,9 +216,11 @@ class CrossbarTile:
         logical = self.pre_activation_batch(inputs)
         return logical[0] if single else logical
 
-    def forward_batch(self, batch: np.ndarray) -> np.ndarray:
+    def forward_batch(self, batch: np.ndarray, *, sample_seeds=None) -> np.ndarray:
         """Layer output for a ``(B, n_inputs)`` batch; always returns 2-D."""
-        return self.activation.forward(self.pre_activation_batch(batch))
+        return self.activation.forward(
+            self.pre_activation_batch(batch, sample_seeds=sample_seeds)
+        )
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         """Layer output ``f(W u)`` computed through the crossbar."""
@@ -217,7 +232,7 @@ class CrossbarTile:
         return self.forward(inputs)
 
     def forward_with_power_batch(
-        self, batch: np.ndarray
+        self, batch: np.ndarray, *, sample_seeds=None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Fused layer output + supply current for a ``(B, n_inputs)`` batch.
 
@@ -225,12 +240,14 @@ class CrossbarTile:
         ``(outputs (B, n_outputs), total_currents (B,))``.
         """
         voltages = self._line_voltages(batch)
-        currents, totals = self.array.matvec_with_current(voltages)
+        currents, totals = self.array.matvec_with_current(
+            voltages, sample_seeds=sample_seeds
+        )
         outputs = self.activation.forward(self._to_logical(currents))
         return outputs, np.atleast_1d(totals)
 
     def forward_with_power_shards(
-        self, batch: np.ndarray
+        self, batch: np.ndarray, *, sample_seeds=None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Fused layer output + per-physical-tile supply currents.
 
@@ -238,7 +255,9 @@ class CrossbarTile:
         ``(outputs (B, n_outputs), shard_currents (B, n_physical_tiles))``.
         A single-array tile has exactly one current column.
         """
-        outputs, totals = self.forward_with_power_batch(batch)
+        outputs, totals = self.forward_with_power_batch(
+            batch, sample_seeds=sample_seeds
+        )
         return outputs, totals[:, np.newaxis]
 
     def reduce_shard_currents(self, shard_currents: np.ndarray) -> np.ndarray:
@@ -259,11 +278,11 @@ class CrossbarTile:
             return outputs[0], float(totals[0])
         return outputs, totals
 
-    def total_current(self, inputs: np.ndarray) -> np.ndarray:
+    def total_current(self, inputs: np.ndarray, *, sample_seeds=None) -> np.ndarray:
         """The tile's power side channel for each input (Eq. 5)."""
         single = np.asarray(inputs).ndim == 1
         voltages = self._line_voltages(inputs)
-        currents = self.array.total_current(voltages)
+        currents = self.array.total_current(voltages, sample_seeds=sample_seeds)
         currents = np.atleast_1d(currents)
         return float(currents[0]) if single else currents
 
@@ -417,6 +436,10 @@ class ShardedTileGroup(CrossbarTile):
         return [array.shape for row in self.shards for array in row]
 
     @property
+    def physical_arrays(self) -> List[CrossbarArray]:
+        return [array for row in self.shards for array in row]
+
+    @property
     def column_conductance_sums(self) -> np.ndarray:
         """Full-layer column sums reassembled from the shard grid."""
         columns = []
@@ -451,21 +474,25 @@ class ShardedTileGroup(CrossbarTile):
             return [voltages]
         return [voltages[:, cols] for cols in self._col_slices]
 
-    def _map_shards(self, kernel, voltage_slices: Sequence[np.ndarray]) -> List[List]:
-        """Apply ``kernel(array, voltages)`` to every shard, row-major.
+    def _map_shards(
+        self, kernel, voltage_slices: Sequence[np.ndarray], sample_seeds=None
+    ) -> List[List]:
+        """Apply ``kernel(array, voltages, sample_seeds)`` to every shard.
 
         Returns results as a ``[row][col]`` grid.  With a runner attached the
         kernels execute on its pool (thread mode — shared address space);
         results are collected in shard order either way, so the grid is
-        independent of the execution schedule.
+        independent of the execution schedule.  The per-row ``sample_seeds``
+        are shared by every shard — each shard derives its own noise streams
+        from them via its distinct :attr:`CrossbarArray.noise_tag`.
         """
         jobs = [
-            (self.shards[r][c], voltage_slices[c])
+            (self.shards[r][c], voltage_slices[c], sample_seeds)
             for r in range(len(self._row_sections))
             for c in range(len(self._col_sections))
         ]
         if self._runner is None:
-            flat = [kernel(array, voltages) for array, voltages in jobs]
+            flat = [kernel(array, voltages, seeds) for array, voltages, seeds in jobs]
         else:
             flat = self._runner.map(kernel, jobs)
         n_cols = len(self._col_sections)
@@ -478,13 +505,17 @@ class ShardedTileGroup(CrossbarTile):
         ]
         return np.concatenate([np.atleast_2d(block) for block in reduced], axis=1)
 
-    def pre_activation_batch(self, batch: np.ndarray) -> np.ndarray:
+    def pre_activation_batch(
+        self, batch: np.ndarray, *, sample_seeds=None
+    ) -> np.ndarray:
         voltages = self._line_voltages(batch)
-        grid = self._map_shards(_shard_matvec, self._split_columns(voltages))
+        grid = self._map_shards(
+            _shard_matvec, self._split_columns(voltages), sample_seeds
+        )
         return self._to_logical(self._reduce_rows(grid))
 
     def forward_with_power_shards(
-        self, batch: np.ndarray
+        self, batch: np.ndarray, *, sample_seeds=None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Fused outputs + per-shard currents, one traversal per shard.
 
@@ -494,7 +525,7 @@ class ShardedTileGroup(CrossbarTile):
         """
         voltages = self._line_voltages(batch)
         grid = self._map_shards(
-            _shard_matvec_with_current, self._split_columns(voltages)
+            _shard_matvec_with_current, self._split_columns(voltages), sample_seeds
         )
         outputs = self._reduce_rows(
             [[pair[0] for pair in row] for row in grid]
@@ -511,12 +542,14 @@ class ShardedTileGroup(CrossbarTile):
         return reduce_partial_sums(columns, self._sharding.reduction)
 
     def forward_with_power_batch(
-        self, batch: np.ndarray
+        self, batch: np.ndarray, *, sample_seeds=None
     ) -> Tuple[np.ndarray, np.ndarray]:
-        outputs, shard_currents = self.forward_with_power_shards(batch)
+        outputs, shard_currents = self.forward_with_power_shards(
+            batch, sample_seeds=sample_seeds
+        )
         return outputs, self.reduce_shard_currents(shard_currents)
 
-    def total_current(self, inputs: np.ndarray) -> np.ndarray:
+    def total_current(self, inputs: np.ndarray, *, sample_seeds=None) -> np.ndarray:
         """Summed power side channel across all shard rails.
 
         Each shard's rail is measured independently (per-shard measurement
@@ -524,7 +557,9 @@ class ShardedTileGroup(CrossbarTile):
         """
         single = np.asarray(inputs).ndim == 1
         voltages = self._line_voltages(inputs)
-        grid = self._map_shards(_shard_total_current, self._split_columns(voltages))
+        grid = self._map_shards(
+            _shard_total_current, self._split_columns(voltages), sample_seeds
+        )
         partials = [np.atleast_1d(value) for row in grid for value in row]
         currents = reduce_partial_sums(partials, self._sharding.reduction)
         return float(currents[0]) if single else currents

@@ -15,8 +15,13 @@ from typing import Optional
 
 import numpy as np
 
-from repro.utils.rng import RandomState, as_rng
+from repro.utils.rng import RandomState, as_rng, sample_stream
 from repro.utils.validation import check_non_negative
+
+#: Stream-path domain tag for defence noise (see :func:`sample_stream`).
+_DEFENSE_DOMAIN = 4
+_JITTER_CHANNEL = 0
+_DUMMY_CHANNEL = 1
 
 
 class PowerNoiseDefense:
@@ -56,13 +61,24 @@ class PowerNoiseDefense:
 
     # ------------------------------------------------------- passthrough API
 
-    def forward(self, inputs: np.ndarray) -> np.ndarray:
+    def forward(self, inputs: np.ndarray, *, sample_seeds=None) -> np.ndarray:
         """Functional outputs are unaffected by the defence."""
+        if sample_seeds is not None:
+            return self.target.forward(inputs, sample_seeds=sample_seeds)
         return self.target.forward(inputs)
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Alias of :meth:`forward`."""
+        return self.forward(inputs)
 
     def predict_labels(self, inputs: np.ndarray) -> np.ndarray:
         """Labels are unaffected by the defence."""
         return self.target.predict_labels(inputs)
+
+    @property
+    def n_outputs(self) -> int:
+        """Output dimensionality of the wrapped target."""
+        return self.target.n_outputs
 
     def __call__(self, inputs: np.ndarray) -> np.ndarray:
         return self.forward(inputs)
@@ -75,24 +91,78 @@ class PowerNoiseDefense:
             self._reference_current = observed if observed > 0 else 1.0
         return self._reference_current
 
-    def total_current(self, inputs: np.ndarray) -> np.ndarray:
+    def _defend(self, real: np.ndarray, sample_seeds=None) -> np.ndarray:
+        """Distort the observable currents (jitter + dummy draw).
+
+        Without seeds this is the historical behaviour: draws come from the
+        defence's own generator and the dummy scale references the *mean*
+        magnitude of the first observed batch (shared lazy state).  With
+        per-row ``sample_seeds`` every draw comes from the row's derived
+        stream and the dummy scale references that row's own current, so a
+        row's defended value is a pure function of ``(row, seed)`` —
+        batch-composition-invariant, as the coalescing service requires.
+        """
+        defended = real.copy()
+        if sample_seeds is None:
+            reference = self._update_reference(real)
+            if self.jitter > 0:
+                defended = defended * (
+                    1.0
+                    + self._rng.uniform(-self.jitter, self.jitter, size=defended.shape)
+                )
+            if self.dummy_current_scale > 0:
+                dummy = self._rng.exponential(
+                    self.dummy_current_scale * reference, size=defended.shape
+                )
+                defended = defended + dummy
+            return defended
+        for i, seed in enumerate(np.asarray(sample_seeds, dtype=np.uint64)):
+            reference = abs(float(real[i])) or 1.0
+            if self.jitter > 0:
+                rng = sample_stream(seed, _DEFENSE_DOMAIN, _JITTER_CHANNEL)
+                defended[i] *= 1.0 + rng.uniform(-self.jitter, self.jitter)
+            if self.dummy_current_scale > 0:
+                rng = sample_stream(seed, _DEFENSE_DOMAIN, _DUMMY_CHANNEL)
+                defended[i] += rng.exponential(self.dummy_current_scale * reference)
+        return defended
+
+    def total_current(self, inputs: np.ndarray, *, sample_seeds=None) -> np.ndarray:
         """The defended power observable: jittered real current + dummy draw."""
         inputs = np.asarray(inputs, dtype=float)
         single = inputs.ndim == 1
-        real = np.atleast_1d(np.asarray(self.target.total_current(inputs), dtype=float))
-        reference = self._update_reference(real)
-
-        defended = real.copy()
-        if self.jitter > 0:
-            defended = defended * (
-                1.0 + self._rng.uniform(-self.jitter, self.jitter, size=defended.shape)
+        if sample_seeds is not None:
+            real = np.atleast_1d(
+                np.asarray(
+                    self.target.total_current(inputs, sample_seeds=sample_seeds),
+                    dtype=float,
+                )
             )
-        if self.dummy_current_scale > 0:
-            dummy = self._rng.exponential(
-                self.dummy_current_scale * reference, size=defended.shape
+        else:
+            real = np.atleast_1d(
+                np.asarray(self.target.total_current(inputs), dtype=float)
             )
-            defended = defended + dummy
+        defended = self._defend(real, sample_seeds)
         return float(defended[0]) if single else defended
+
+    def forward_with_power(self, inputs: np.ndarray, *, sample_seeds=None):
+        """Fused passthrough: the target's outputs with a defended power report.
+
+        Requires a target exposing ``forward_with_power`` (an accelerator).
+        The report's summed total current is defended; the per-tile columns
+        are passed through unchanged — the defence sits on the package supply
+        rail, not inside the individual tile rails.
+        """
+        outputs, report = self.target.forward_with_power(
+            inputs, sample_seeds=sample_seeds
+        )
+        defended = self._defend(np.atleast_1d(report.total_current), sample_seeds)
+        per_tile = [
+            report.per_tile_current[:, k] for k in range(report.per_tile_current.shape[1])
+        ]
+        defended_report = self.target.power_model.report(
+            defended, per_tile, labels=report.tile_labels
+        )
+        return outputs, defended_report
 
     @property
     def overhead_factor(self) -> float:

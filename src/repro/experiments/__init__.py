@@ -18,6 +18,7 @@ from repro.experiments.config import (
     TrainingConfig,
     ExperimentScale,
     SCALES,
+    SERVICE_PRESET_CONFIGS,
     SHARD_PRESET_GEOMETRIES,
     SWEEP_PRESET_GRIDS,
     resolve_scale,
@@ -59,6 +60,7 @@ from repro.experiments.table1 import run_table1, format_table1, Table1Result
 from repro.experiments.figure3 import run_figure3, format_figure3, Figure3Result
 from repro.experiments.figure4 import run_figure4, format_figure4, Figure4Result
 from repro.experiments.figure5 import run_figure5, format_figure5, Figure5Result
+from repro.experiments.service_demo import ServiceAttackExperiment
 from repro.experiments.reporting import (
     format_curves_with_spread,
     format_series,
@@ -70,10 +72,12 @@ __all__ = [
     "TrainingConfig",
     "ExperimentScale",
     "SCALES",
+    "SERVICE_PRESET_CONFIGS",
     "SHARD_PRESET_GEOMETRIES",
     "SWEEP_PRESET_GRIDS",
     "ShardingSpec",
     "resolve_scale",
+    "ServiceAttackExperiment",
     "ParallelRunner",
     "prepare_model",
     "prepare_dataset",

@@ -181,6 +181,19 @@ SHARD_PRESET_GEOMETRIES: Dict[str, Tuple[int, int, str]] = {
 }
 
 
+#: Service-fronted presets registered as ``service-*`` scenarios:
+#: ``name -> (base scenario preset, max_batch, max_wait_ms)``.  Kept here as
+#: plain data so the shipped batching policies are configuration, not
+#: scenario-module code; :mod:`repro.experiments.scenario` attaches a
+#: :class:`~repro.service.config.ServiceConfig` to each base preset.  The
+#: noisy variant exists to exercise coalescing against *stochastic* hardware
+#: physics (per-request seed streams keep it bit-identical regardless).
+SERVICE_PRESET_CONFIGS: Dict[str, Tuple[str, int, float]] = {
+    "service-paper": ("paper/mnist-softmax", 64, 2.0),
+    "service-noisy-device": ("noisy-device", 32, 2.0),
+}
+
+
 #: Built-in scenario sweeps registered as ``sweep-*`` experiments:
 #: ``name -> (base scenario preset, knob path, value grid)``.  Kept here as
 #: plain data so the shipped ablation grids are configuration, not

@@ -26,6 +26,7 @@ _BUILTIN_MODULES = (
     "repro.experiments.figure4",
     "repro.experiments.figure5",
     "repro.experiments.sweep",
+    "repro.experiments.service_demo",
 )
 
 

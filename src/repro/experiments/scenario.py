@@ -30,9 +30,11 @@ from repro.defenses.noise_injection import PowerNoiseDefense
 from repro.experiments.config import (
     ExperimentScale,
     PAPER_CONFIGURATIONS,
+    SERVICE_PRESET_CONFIGS,
     SHARD_PRESET_GEOMETRIES,
 )
 from repro.nn.metrics import accuracy
+from repro.service.config import ServiceConfig
 from repro.sidechannel.measurement import PowerMeasurement
 from repro.sidechannel.probing import ColumnNormProber
 
@@ -99,6 +101,13 @@ class ScenarioSpec:
         Ideal-device sharded execution is equivalent to the single-tile
         placement, so this axis sweeps tile geometry without changing any
         result — until non-idealities or per-tile observables enter.
+    service:
+        Optional :class:`~repro.service.config.ServiceConfig`: attacker
+        queries are then driven through the async coalescing query service
+        (:meth:`build_oracle` wraps the oracle in a
+        :class:`~repro.service.facade.BatchingOracle`).  The service changes
+        *how* queries reach the hardware — never the physics — and serviced
+        responses are bit-identical to direct seeded queries.
     description:
         One-line human-readable summary for listings.
     """
@@ -117,6 +126,7 @@ class ScenarioSpec:
     defense: Optional[str] = None
     defense_strength: float = 0.0
     sharding: Optional[ShardingSpec] = None
+    service: Optional[ServiceConfig] = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -166,6 +176,11 @@ class ScenarioSpec:
                 f"sharding must be a ShardingSpec or None, "
                 f"got {type(self.sharding).__name__}"
             )
+        if self.service is not None and not isinstance(self.service, ServiceConfig):
+            raise TypeError(
+                f"service must be a ServiceConfig or None, "
+                f"got {type(self.service).__name__}"
+            )
 
     # ------------------------------------------------------------- utilities
 
@@ -192,6 +207,7 @@ class ScenarioSpec:
             and self.probe_adc_bits is None
             and self.defense is None
             and (self.sharding is None or self.sharding.is_trivial)
+            and self.service is None
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -201,7 +217,7 @@ class ScenarioSpec:
             value = getattr(self, spec_field.name)
             if isinstance(value, NonidealityConfig):
                 value = {f.name: getattr(value, f.name) for f in fields(value)}
-            elif isinstance(value, ShardingSpec):
+            elif isinstance(value, (ShardingSpec, ServiceConfig)):
                 value = value.to_dict()
             payload[spec_field.name] = value
         return payload
@@ -216,6 +232,9 @@ class ScenarioSpec:
         sharding = kwargs.get("sharding")
         if isinstance(sharding, dict):
             kwargs["sharding"] = ShardingSpec.from_dict(sharding)
+        service = kwargs.get("service")
+        if isinstance(service, dict):
+            kwargs["service"] = ServiceConfig.from_dict(service)
         return cls(**kwargs)
 
     # -------------------------------------------------------------- builders
@@ -307,6 +326,42 @@ class ScenarioSpec:
                 random_state=np.random.default_rng([int(random_state) & 0xFFFFFFFF, 0xD3F]),
             )
         return accelerator
+
+    def build_oracle(
+        self,
+        target,
+        *,
+        random_state: int,
+        output_mode: str = "raw",
+        expose_power: bool = True,
+    ):
+        """The attacker's query interface to ``target``.
+
+        Builds an :class:`~repro.attacks.oracle.Oracle` with this scenario's
+        instrument noise; when :attr:`service` is set, wraps it in a
+        :class:`~repro.service.facade.BatchingOracle` so queries are
+        coalesced by the async service (the caller should ``close()`` the
+        facade, or use it as a context manager).
+        """
+        from repro.attacks.oracle import Oracle
+
+        kwargs: Dict[str, object] = {}
+        if self.measurement_noise > 0.0:
+            kwargs["power_noise_std"] = self.measurement_noise
+            kwargs["random_state"] = np.random.default_rng(
+                [int(random_state) & 0xFFFFFFFF, 0x0AC]
+            )
+        oracle = Oracle(
+            target,
+            output_mode=output_mode,
+            expose_power=expose_power,
+            **kwargs,
+        )
+        if self.service is None:
+            return oracle
+        from repro.service import BatchingOracle
+
+        return BatchingOracle(oracle, self.service)
 
     def build_prober(self, target, n_features: int, *, random_state: int) -> ColumnNormProber:
         """The attacker's probing stack against ``target``.
@@ -428,6 +483,24 @@ for _name, (_rows, _cols, _reduction) in SHARD_PRESET_GEOMETRIES.items():
             description=(
                 f"Layers sharded across a {_rows}x{_cols} physical tile grid "
                 f"({_reduction} partial-sum reduction)"
+            ),
+        )
+    )
+
+
+# Service-fronted presets: the same physics as their base preset, with
+# attacker queries driven through the async coalescing query service.  The
+# batching policies live in config.SERVICE_PRESET_CONFIGS.
+for _name, (_base, _max_batch, _max_wait_ms) in SERVICE_PRESET_CONFIGS.items():
+    _base_spec = SCENARIOS[_base]
+    register_scenario(
+        _base_spec.with_overrides(
+            name=_name,
+            service=ServiceConfig(max_batch=_max_batch, max_wait_ms=_max_wait_ms),
+            description=(
+                f"{_base_spec.description or _base} with queries coalesced by "
+                f"the async service (max_batch={_max_batch}, "
+                f"max_wait_ms={_max_wait_ms:g})"
             ),
         )
     )

@@ -1,0 +1,47 @@
+"""Async coalescing query service in front of the oracle/measurement path.
+
+The paper trades attack efficacy against query budget, and the engine
+benchmarks show per-call overhead amortising strongly with batch size — so
+serving many concurrent attacker queries efficiently means *coalescing* them
+into fused traversals.  This package provides:
+
+* :class:`~repro.service.coalescer.QueryService` — the asyncio request queue:
+  concurrent ``submit(inputs)`` calls are coalesced per tick (``max_batch``
+  rows / ``max_wait_ms`` hold time, bounded-queue backpressure) into one
+  fused ``forward_with_power`` traversal, and per-request response slices are
+  scattered back to the awaiting futures.
+* :class:`~repro.service.facade.BatchingOracle` /
+  :class:`~repro.service.facade.BatchingMeasurement` — synchronous drop-in
+  front-ends for existing attacks, running the service on a private
+  event-loop thread.
+* :class:`~repro.service.config.ServiceConfig` — the frozen batching policy,
+  embeddable in :class:`~repro.experiments.scenario.ScenarioSpec` presets.
+
+Coalescing is only correct because the measurement path is
+batch-composition-invariant under per-request derived RNG streams: every
+noise draw is keyed on a per-row seed derived from the request's sequence
+number, so responses are bit-identical whether a request ran alone,
+coalesced, or through the synchronous path (see
+:meth:`QueryService.seeds_for`).
+"""
+
+from repro.service.config import ServiceConfig
+from repro.service.coalescer import (
+    MeasurementBackend,
+    OracleBackend,
+    QueryService,
+    ServiceStats,
+    resolve_backend,
+)
+from repro.service.facade import BatchingMeasurement, BatchingOracle
+
+__all__ = [
+    "BatchingMeasurement",
+    "BatchingOracle",
+    "MeasurementBackend",
+    "OracleBackend",
+    "QueryService",
+    "ServiceConfig",
+    "ServiceStats",
+    "resolve_backend",
+]

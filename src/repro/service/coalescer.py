@@ -1,0 +1,329 @@
+"""The asyncio coalescing query service.
+
+:class:`QueryService` sits in front of an :class:`~repro.attacks.oracle.Oracle`
+or a :class:`~repro.sidechannel.measurement.PowerMeasurement` and turns many
+small concurrent :meth:`~QueryService.submit` calls into few large fused
+traversals: pending requests are coalesced per *tick* (up to
+``max_batch`` rows, holding the first request at most ``max_wait_ms`` for
+company), dispatched as **one** backend call, and the per-request slices of
+the fused result are scattered back to the awaiting futures.
+
+Correctness rests on per-request derived RNG streams: every submitted request
+receives a sequence number, from which one ``uint64`` seed per input row is
+derived (:func:`~repro.utils.rng.derive_request_seeds`) and passed down the
+measurement path as ``seeds``.  Each row's noise — conductance read noise,
+rail measurement noise, defence draws, instrument noise — is then a pure
+function of the row's seed, so a response is **bit-identical** whether the
+request ran alone, coalesced with strangers, or bypassed the service entirely
+via ``backend(inputs, seeds=service.seeds_for(request_id, n_rows))``.
+
+Error semantics are those of a shared bus: if the fused traversal fails (bad
+input width, an exhausted query budget), the whole tick fails and every
+coalesced request receives the exception; nothing is charged against the
+budget (both backends charge only after a successful traversal).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.service.config import ServiceConfig
+from repro.utils.rng import derive_request_seeds
+
+
+class OracleBackend:
+    """Adapts an :class:`~repro.attacks.oracle.Oracle` to the service protocol."""
+
+    kind = "oracle"
+
+    def __init__(self, oracle):
+        self.oracle = oracle
+
+    def run(self, inputs: np.ndarray, seeds: np.ndarray):
+        return self.oracle.query(inputs, seeds=seeds)
+
+    def slice(self, fused, lo: int, hi: int):
+        """One request's view of the fused :class:`OracleResponse`."""
+        from repro.attacks.oracle import OracleResponse
+
+        return OracleResponse(
+            queries=fused.queries[lo:hi],
+            outputs=fused.outputs[lo:hi],
+            labels=fused.labels[lo:hi],
+            power=None if fused.power is None else fused.power[lo:hi],
+            output_mode=fused.output_mode,
+            per_tile_power=(
+                None
+                if fused.per_tile_power is None
+                else fused.per_tile_power[lo:hi]
+            ),
+            metadata=dict(fused.metadata),
+        )
+
+    @property
+    def queries_used(self) -> int:
+        return self.oracle.queries_used
+
+
+class MeasurementBackend:
+    """Adapts a :class:`~repro.sidechannel.measurement.PowerMeasurement`."""
+
+    kind = "measurement"
+
+    def __init__(self, measurement):
+        self.measurement = measurement
+
+    def run(self, inputs: np.ndarray, seeds: np.ndarray):
+        return np.atleast_1d(self.measurement.measure(inputs, seeds=seeds))
+
+    def slice(self, fused, lo: int, hi: int):
+        return fused[lo:hi]
+
+    @property
+    def queries_used(self) -> int:
+        return self.measurement.queries_used
+
+
+def resolve_backend(target):
+    """Wrap an oracle / measurement in its service backend (pass adapters through)."""
+    if hasattr(target, "run") and hasattr(target, "slice"):
+        return target
+    if hasattr(target, "query"):
+        return OracleBackend(target)
+    if hasattr(target, "measure"):
+        return MeasurementBackend(target)
+    raise TypeError(
+        f"cannot serve {type(target).__name__}: expected an Oracle-like "
+        "(.query), a PowerMeasurement-like (.measure), or a backend adapter "
+        "(.run/.slice)"
+    )
+
+
+@dataclass
+class ServiceStats:
+    """Coalescing effectiveness counters, updated per dispatched tick."""
+
+    n_requests: int = 0
+    n_rows: int = 0
+    n_ticks: int = 0
+    n_failed_ticks: int = 0
+    max_tick_rows: int = 0
+
+    @property
+    def mean_tick_rows(self) -> float:
+        """Average fused-batch size (rows per traversal)."""
+        return self.n_rows / self.n_ticks if self.n_ticks else 0.0
+
+    @property
+    def coalescing_factor(self) -> float:
+        """Requests amortised per traversal (1.0 = no coalescing happened)."""
+        return self.n_requests / self.n_ticks if self.n_ticks else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "n_requests": self.n_requests,
+            "n_rows": self.n_rows,
+            "n_ticks": self.n_ticks,
+            "n_failed_ticks": self.n_failed_ticks,
+            "max_tick_rows": self.max_tick_rows,
+            "mean_tick_rows": self.mean_tick_rows,
+            "coalescing_factor": self.coalescing_factor,
+        }
+
+
+@dataclass(repr=False)
+class _Pending:
+    """One submitted request waiting for its tick."""
+
+    inputs: np.ndarray
+    seeds: np.ndarray
+    future: asyncio.Future
+
+    def __repr__(self) -> str:
+        # Deliberately compact: asyncio renders pending items into task/
+        # future reprs on shutdown, and stringifying request arrays there
+        # is pure overhead.
+        return f"_Pending(rows={len(self.inputs)})"
+
+
+class QueryService:
+    """Coalesces concurrent attacker queries into fused backend traversals.
+
+    Parameters
+    ----------
+    target:
+        An :class:`~repro.attacks.oracle.Oracle`, a
+        :class:`~repro.sidechannel.measurement.PowerMeasurement`, or a
+        pre-built backend adapter.
+    config:
+        The :class:`~repro.service.config.ServiceConfig` batching policy.
+
+    Usage::
+
+        async with QueryService(oracle) as service:
+            responses = await asyncio.gather(
+                *(service.submit(x) for x in request_inputs)
+            )
+
+    Every ``submit`` resolves to exactly the response the same inputs would
+    have produced alone — see the module docstring for why.
+    """
+
+    def __init__(self, target, config: Optional[ServiceConfig] = None):
+        self.backend = resolve_backend(target)
+        self.config = config if config is not None else ServiceConfig()
+        self.stats = ServiceStats()
+        self._queue: Optional[asyncio.Queue] = None
+        self._worker: Optional[asyncio.Task] = None
+        self._request_counter = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def started(self) -> bool:
+        """Whether the dispatch worker is running."""
+        return self._worker is not None and not self._worker.done()
+
+    async def start(self) -> "QueryService":
+        """Spawn the dispatch worker on the running event loop (idempotent)."""
+        if not self.started:
+            self._queue = asyncio.Queue(maxsize=self.config.max_pending)
+            self._worker = asyncio.get_running_loop().create_task(self._run())
+        return self
+
+    async def stop(self) -> None:
+        """Dispatch any still-queued requests, then cancel the worker.
+
+        After the worker is cancelled, anything that raced into the queue —
+        e.g. a facade ``query`` from another thread overlapping ``close()``
+        — is dispatched here as final ticks, so no submitted request is ever
+        stranded with an unresolved future.
+        """
+        if self._worker is None:
+            return
+        while self._queue is not None and not self._queue.empty():
+            await asyncio.sleep(0)
+        self._worker.cancel()
+        try:
+            await self._worker
+        except asyncio.CancelledError:
+            pass
+        self._worker = None
+        while self._queue is not None and not self._queue.empty():
+            tick = []
+            while True:
+                try:
+                    tick.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            self._dispatch(tick)
+
+    async def __aenter__(self) -> "QueryService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------- requests
+
+    def seeds_for(self, request_id: int, n_rows: int) -> np.ndarray:
+        """The per-row noise seeds request ``request_id`` is served with.
+
+        Exposed so the synchronous reference path —
+        ``oracle.query(inputs, seeds=service.seeds_for(i, len(inputs)))`` —
+        can reproduce any serviced response bit-for-bit.
+        """
+        return derive_request_seeds(self.config.base_seed, request_id, n_rows)
+
+    async def submit(self, inputs: np.ndarray):
+        """Enqueue one request and await its slice of a fused traversal.
+
+        Returns whatever the backend returns for these rows: an
+        :class:`~repro.attacks.oracle.OracleResponse` slice for oracle
+        backends, a ``(B,)`` readings array for measurement backends.
+        Applies backpressure (awaits) while ``max_pending`` requests are
+        already queued.
+        """
+        if not self.started:
+            await self.start()
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        if len(inputs) == 0:
+            raise ValueError("cannot submit an empty request")
+        request_id = self._request_counter
+        self._request_counter += 1
+        seeds = self.seeds_for(request_id, len(inputs))
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put(_Pending(inputs, seeds, future))
+        return await future
+
+    # ------------------------------------------------------------- dispatch
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            tick = [first]
+            rows = len(first.inputs)
+            deadline = loop.time() + self.config.max_wait_ms / 1000.0
+            try:
+                while rows < self.config.max_batch:
+                    # Greedily drain whatever is already queued.  When the
+                    # queue runs dry, give the scheduler one pass so every
+                    # ready submitter can enqueue; if that pass produces
+                    # nothing new the offered load is fully coalesced —
+                    # dispatch immediately rather than idling out the
+                    # deadline (which only bounds genuinely trickling
+                    # arrivals, e.g. cross-thread submitters).
+                    try:
+                        pending = self._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        if loop.time() >= deadline:
+                            break
+                        await asyncio.sleep(0)
+                        if self._queue.empty():
+                            break
+                        continue
+                    tick.append(pending)
+                    rows += len(pending.inputs)
+            except asyncio.CancelledError:
+                # Never strand a held-open tick on shutdown.
+                self._dispatch(tick)
+                raise
+            self._dispatch(tick)
+
+    def _dispatch(self, tick: List[_Pending]) -> None:
+        """One fused traversal for the tick; scatter slices to the futures."""
+        live = [pending for pending in tick if not pending.future.done()]
+        if not live:
+            return
+        try:
+            # Batch assembly is part of the failure envelope: a request with
+            # mismatched width must fail its tick, not kill the worker.
+            inputs = np.concatenate([pending.inputs for pending in live])
+            seeds = np.concatenate([pending.seeds for pending in live])
+            fused = self.backend.run(inputs, seeds)
+        except Exception as exc:  # shared-bus semantics: the tick fails whole
+            self.stats.n_failed_ticks += 1
+            for pending in live:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+            return
+        self.stats.n_ticks += 1
+        self.stats.n_requests += len(live)
+        self.stats.n_rows += len(inputs)
+        self.stats.max_tick_rows = max(self.stats.max_tick_rows, len(inputs))
+        offset = 0
+        for pending in live:
+            end = offset + len(pending.inputs)
+            if not pending.future.done():
+                pending.future.set_result(self.backend.slice(fused, offset, end))
+            offset = end
+
+    @property
+    def queries_used(self) -> int:
+        """Queries charged by the underlying backend so far."""
+        return self.backend.queries_used

@@ -1,0 +1,69 @@
+"""Configuration for the async coalescing query service.
+
+:class:`ServiceConfig` is a frozen, picklable, JSON-round-trippable value
+object — the same design as :class:`~repro.experiments.scenario.ScenarioSpec`
+— so it can ride inside scenario presets and experiment jobs unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Mapping
+
+from repro.utils.validation import check_non_negative, check_positive_int
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Batching policy of one :class:`~repro.service.coalescer.QueryService`.
+
+    Attributes
+    ----------
+    max_batch:
+        Row budget per fused traversal: a tick dispatches as soon as the
+        coalesced rows reach this count.  A single oversized request still
+        runs as one fused call (it is never split).
+    max_wait_ms:
+        Upper bound on how long a tick holds the first pending request open
+        for company before dispatching under-full.  The service dispatches
+        *early* whenever a scheduler pass brings no new submissions (the
+        offered load is fully coalesced), so this bound is only reached
+        under genuinely trickling arrivals — e.g. cross-thread submitters.
+        ``0`` dispatches whatever is queued immediately (pure greedy
+        coalescing).
+    max_pending:
+        Bound of the request queue; :meth:`QueryService.submit` applies
+        backpressure (awaits) while the queue is full.
+    base_seed:
+        Root of the per-request noise-seed derivation
+        (:func:`~repro.utils.rng.derive_request_seeds`).  Two services with
+        the same ``base_seed`` assign identical seeds to identical request
+        sequence numbers, which is what the service-vs-direct equivalence
+        tests replay.
+    """
+
+    max_batch: int = 64
+    max_wait_ms: float = 2.0
+    max_pending: int = 256
+    base_seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.max_batch, "max_batch")
+        check_non_negative(self.max_wait_ms, "max_wait_ms")
+        check_positive_int(self.max_pending, "max_pending")
+        if not isinstance(self.base_seed, int) or isinstance(self.base_seed, bool):
+            raise ValueError(f"base_seed must be an int, got {self.base_seed!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable representation (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ServiceConfig":
+        """Reconstruct a :class:`ServiceConfig` written by :meth:`to_dict`."""
+        return cls(
+            max_batch=int(payload.get("max_batch", 64)),
+            max_wait_ms=float(payload.get("max_wait_ms", 2.0)),
+            max_pending=int(payload.get("max_pending", 256)),
+            base_seed=int(payload.get("base_seed", 0)),
+        )

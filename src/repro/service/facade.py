@@ -1,0 +1,174 @@
+"""Synchronous facades over the async coalescing query service.
+
+Existing attacks and experiments are plain synchronous code built against
+``Oracle.query`` / ``PowerMeasurement.measure``.  :class:`BatchingOracle` and
+:class:`BatchingMeasurement` give them the coalescing service without any
+async plumbing: each facade owns a private event-loop thread running a
+:class:`~repro.service.coalescer.QueryService`, and its blocking calls submit
+into that loop.  Calls from *multiple* threads coalesce into shared fused
+traversals; a single-threaded caller pays at most ``max_wait_ms`` extra
+latency per query and still gets bit-identical results (per-request seed
+derivation does not depend on coalescing).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+import numpy as np
+
+from repro.service.config import ServiceConfig
+from repro.service.coalescer import QueryService, ServiceStats
+
+
+class _ServiceThread:
+    """A daemon thread running one event loop with one started QueryService."""
+
+    def __init__(self, target, config: Optional[ServiceConfig]):
+        self.loop = asyncio.new_event_loop()
+        self.service = QueryService(target, config)
+        self._thread = threading.Thread(
+            target=self.loop.run_forever, name="repro-query-service", daemon=True
+        )
+        self._thread.start()
+        self._call(self.service.start())
+
+    def _call(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result()
+
+    def submit(self, inputs):
+        return self._call(self.service.submit(inputs))
+
+    def close(self) -> None:
+        if not self._thread.is_alive():
+            return
+        self._call(self.service.stop())
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join()
+        self.loop.close()
+
+
+class _BatchingFacade:
+    """Shared lifecycle plumbing of the two synchronous facades."""
+
+    def __init__(self, target, config: Optional[ServiceConfig] = None):
+        self.target = target
+        self.config = config if config is not None else ServiceConfig()
+        self._runtime = _ServiceThread(target, self.config)
+
+    @property
+    def service(self) -> QueryService:
+        """The underlying (already started) coalescing service."""
+        return self._runtime.service
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Coalescing counters of the underlying service."""
+        return self._runtime.service.stats
+
+    def close(self) -> None:
+        """Stop the service and its event-loop thread (idempotent)."""
+        self._runtime.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class BatchingOracle(_BatchingFacade):
+    """Drop-in synchronous :class:`~repro.attacks.oracle.Oracle` front-end.
+
+    Exposes the oracle surface existing attacks consume (``query``,
+    ``queries_used``, ``n_outputs``, ``output_mode``, ``predict_labels``,
+    ``accuracy``) while routing every ``query`` through the coalescing
+    service, so concurrent attacker threads share fused traversals.
+    Responses are bit-identical to ``oracle.query(inputs,
+    seeds=service.seeds_for(request_id, len(inputs)))`` for hardware targets.
+    """
+
+    def __init__(self, oracle, config: Optional[ServiceConfig] = None):
+        super().__init__(oracle, config)
+        self.oracle = oracle
+
+    def query(self, inputs: np.ndarray):
+        """Submit one request and block for its coalesced response."""
+        return self._runtime.submit(inputs)
+
+    # -------------------------------------------------- oracle passthroughs
+
+    @property
+    def queries_used(self) -> int:
+        return self.oracle.queries_used
+
+    @property
+    def queries_remaining(self):
+        return self.oracle.queries_remaining
+
+    def reset_counter(self) -> None:
+        self.oracle.reset_counter()
+
+    @property
+    def n_outputs(self) -> int:
+        return self.oracle.n_outputs
+
+    @property
+    def output_mode(self) -> str:
+        return self.oracle.output_mode
+
+    def predict_labels(self, inputs: np.ndarray) -> np.ndarray:
+        """Evaluation helper; not routed through the service, not counted."""
+        return self.oracle.predict_labels(inputs)
+
+    def accuracy(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """Evaluation helper; not routed through the service, not counted."""
+        return self.oracle.accuracy(inputs, targets)
+
+
+class BatchingMeasurement(_BatchingFacade):
+    """Drop-in synchronous :class:`PowerMeasurement` front-end.
+
+    Gives probing code (e.g.
+    :class:`~repro.sidechannel.probing.ColumnNormProber`) the coalescing
+    service behind the familiar blocking ``measure`` call.  Use a fixed
+    ``range_hint=(low, high)`` on the wrapped measurement when its
+    acquisition ADC is enabled — per-batch auto-ranging is, by definition,
+    not batch-composition-invariant, and ``"calibrate"`` mode only becomes
+    invariant after its (batch-spanning) calibration acquisition.
+    """
+
+    def __init__(self, measurement, config: Optional[ServiceConfig] = None):
+        super().__init__(measurement, config)
+        self.measurement = measurement
+
+    def measure(self, inputs: np.ndarray):
+        """Submit one measurement request and block for its readings.
+
+        Follows the :meth:`PowerMeasurement.measure` shape convention: a
+        single 1-D input returns a scalar, a batch returns a ``(B,)`` array.
+        """
+        single = np.asarray(inputs).ndim == 1
+        readings = self._runtime.submit(inputs)
+        return float(readings[0]) if single else readings
+
+    # --------------------------------------------- measurement passthroughs
+
+    @property
+    def queries_used(self) -> int:
+        return self.measurement.queries_used
+
+    @property
+    def queries_remaining(self):
+        return self.measurement.queries_remaining
+
+    def reset_counter(self) -> None:
+        self.measurement.reset_counter()

@@ -1,0 +1,377 @@
+"""Tests for repro.service: coalescing, equivalence, facades, error paths.
+
+The acceptance property — coalesced service responses are bit-identical to
+per-request synchronous queries — is asserted for **every registered scenario
+preset** against the scenario's own hardware stack, plus the service
+machinery itself: tick formation, backpressure, shared-bus error semantics,
+query accounting, and the synchronous facades.
+"""
+
+import asyncio
+import concurrent.futures
+import threading
+
+import numpy as np
+import pytest
+
+from repro.attacks.oracle import Oracle
+from repro.experiments.scenario import SCENARIOS, list_scenarios
+from repro.nn.layers import Dense
+from repro.nn.network import Sequential
+from repro.service import (
+    BatchingMeasurement,
+    BatchingOracle,
+    QueryService,
+    ServiceConfig,
+)
+from repro.sidechannel.measurement import PowerMeasurement, QueryBudgetExceeded
+from repro.sidechannel.probing import ColumnNormProber
+
+pytestmark = pytest.mark.service
+
+N_FEATURES = 16
+N_CLASSES = 5
+
+
+def _network():
+    return Sequential(
+        [Dense(N_FEATURES, N_CLASSES, activation="softmax", random_state=0)]
+    )
+
+
+def _target(name):
+    return SCENARIOS[name].build_accelerator(_network(), random_state=0)
+
+
+def _oracle(name):
+    return Oracle(
+        _target(name), expose_power=True, power_noise_std=0.03, random_state=7
+    )
+
+
+def _requests(sizes=(1, 3, 1, 2, 5, 1, 4)):
+    rng = np.random.default_rng(13)
+    return [rng.uniform(0.0, 1.0, size=(n, N_FEATURES)) for n in sizes]
+
+
+def _submit_all(service_target, config, requests):
+    async def run():
+        async with QueryService(service_target, config) as service:
+            responses = await asyncio.gather(
+                *(service.submit(request) for request in requests)
+            )
+            seeds = [
+                service.seeds_for(i, len(request))
+                for i, request in enumerate(requests)
+            ]
+            return responses, seeds, service.stats.to_dict()
+
+    return asyncio.run(run())
+
+
+class TestServiceVsDirectEquivalence:
+    """Acceptance: coalesced == per-request synchronous, bit for bit."""
+
+    @pytest.mark.parametrize("name", list_scenarios())
+    def test_oracle_responses_bit_identical(self, name):
+        requests = _requests()
+        responses, seeds, stats = _submit_all(
+            _oracle(name), ServiceConfig(max_batch=8, max_wait_ms=10), requests
+        )
+        direct = _oracle(name)  # identically-built victim, fresh instance
+        for request, response, request_seeds in zip(requests, responses, seeds):
+            reference = direct.query(request, seeds=request_seeds)
+            np.testing.assert_array_equal(response.queries, reference.queries)
+            np.testing.assert_array_equal(response.outputs, reference.outputs)
+            np.testing.assert_array_equal(response.labels, reference.labels)
+            np.testing.assert_array_equal(response.power, reference.power)
+        assert stats["n_requests"] == len(requests)
+        assert stats["n_ticks"] < len(requests)  # coalescing actually happened
+
+    @pytest.mark.parametrize("name", list_scenarios())
+    def test_measurement_readings_bit_identical(self, name):
+        requests = _requests()
+        measurement = PowerMeasurement(
+            _target(name), noise_std=0.05, random_state=3
+        )
+        responses, seeds, _ = _submit_all(
+            measurement, ServiceConfig(max_batch=8, max_wait_ms=10), requests
+        )
+        direct = PowerMeasurement(_target(name), noise_std=0.05, random_state=3)
+        for request, readings, request_seeds in zip(requests, responses, seeds):
+            reference = np.atleast_1d(direct.measure(request, seeds=request_seeds))
+            np.testing.assert_array_equal(readings, reference)
+
+    def test_query_accounting_matches_direct(self):
+        requests = _requests()
+        oracle = _oracle("paper/mnist-softmax")
+        _submit_all(oracle, ServiceConfig(max_batch=8), requests)
+        assert oracle.queries_used == sum(len(r) for r in requests)
+
+    def test_request_larger_than_max_batch_served_whole(self):
+        oracle = _oracle("paper/mnist-softmax")
+        big = np.random.default_rng(0).uniform(size=(24, N_FEATURES))
+        responses, seeds, stats = _submit_all(
+            oracle, ServiceConfig(max_batch=4), [big]
+        )
+        assert len(responses[0].outputs) == 24
+        assert stats["max_tick_rows"] == 24  # never split
+
+
+class TestServiceMechanics:
+    def test_ticks_respect_max_batch(self):
+        oracle = _oracle("paper/mnist-softmax")
+        requests = [np.ones((1, N_FEATURES)) * 0.1] * 12
+        _, _, stats = _submit_all(
+            oracle, ServiceConfig(max_batch=4, max_wait_ms=50), requests
+        )
+        assert stats["max_tick_rows"] <= 4
+        assert stats["n_ticks"] >= 3
+
+    def test_shared_bus_error_fails_the_whole_tick_and_charges_nothing(self):
+        oracle = _oracle("paper/mnist-softmax")
+
+        async def run():
+            async with QueryService(
+                oracle, ServiceConfig(max_batch=8, max_wait_ms=50)
+            ) as service:
+                good = service.submit(np.ones((2, N_FEATURES)))
+                bad = service.submit(np.ones((1, N_FEATURES + 1)))  # wrong width
+                return await asyncio.gather(good, bad, return_exceptions=True)
+
+        results = asyncio.run(run())
+        assert all(isinstance(r, Exception) for r in results)
+        assert oracle.queries_used == 0
+
+    def test_budget_exhaustion_propagates_uncharged(self):
+        target = _target("paper/mnist-softmax")
+        oracle = Oracle(target, query_budget=3, random_state=0)
+
+        async def run():
+            async with QueryService(oracle, ServiceConfig(max_wait_ms=50)) as service:
+                return await asyncio.gather(
+                    *(service.submit(np.ones((2, N_FEATURES))) for _ in range(2)),
+                    return_exceptions=True,
+                )
+
+        results = asyncio.run(run())
+        assert all(isinstance(r, QueryBudgetExceeded) for r in results)
+        assert oracle.queries_used == 0
+        assert oracle.queries_remaining == 3
+
+    def test_backpressure_bounds_the_queue(self):
+        oracle = _oracle("paper/mnist-softmax")
+
+        async def run():
+            service = QueryService(
+                oracle, ServiceConfig(max_batch=2, max_wait_ms=0, max_pending=2)
+            )
+            async with service:
+                responses = await asyncio.gather(
+                    *(service.submit(np.ones((1, N_FEATURES))) for _ in range(10))
+                )
+                assert service._queue.maxsize == 2
+                return responses
+
+        assert len(asyncio.run(run())) == 10
+
+    def test_empty_request_rejected(self):
+        oracle = _oracle("paper/mnist-softmax")
+
+        async def run():
+            async with QueryService(oracle) as service:
+                await service.submit(np.empty((0, N_FEATURES)))
+
+        with pytest.raises(ValueError, match="empty request"):
+            asyncio.run(run())
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(TypeError, match="cannot serve"):
+            QueryService(object())
+
+    def test_seeds_for_is_deterministic(self):
+        a = QueryService(_oracle("paper/mnist-softmax"), ServiceConfig(base_seed=9))
+        b = QueryService(_oracle("paper/mnist-softmax"), ServiceConfig(base_seed=9))
+        np.testing.assert_array_equal(a.seeds_for(4, 3), b.seeds_for(4, 3))
+        assert not np.array_equal(a.seeds_for(4, 3), a.seeds_for(5, 3))
+
+    def test_config_validation_and_round_trip(self):
+        config = ServiceConfig(max_batch=8, max_wait_ms=0.5, max_pending=16, base_seed=3)
+        assert ServiceConfig.from_dict(config.to_dict()) == config
+        with pytest.raises(ValueError):
+            ServiceConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(max_wait_ms=-1.0)
+        with pytest.raises(ValueError):
+            ServiceConfig(max_pending=0)
+
+
+class TestBatchingOracleFacade:
+    """The sync drop-in front-end existing attacks can use unchanged."""
+
+    def test_sequential_queries_match_direct(self):
+        requests = _requests()
+        with BatchingOracle(
+            _oracle("service-noisy-device"), ServiceConfig(max_wait_ms=0)
+        ) as facade:
+            responses = [facade.query(request) for request in requests]
+            seeds = [
+                facade.service.seeds_for(i, len(request))
+                for i, request in enumerate(requests)
+            ]
+        direct = _oracle("service-noisy-device")
+        for request, response, request_seeds in zip(requests, responses, seeds):
+            reference = direct.query(request, seeds=request_seeds)
+            np.testing.assert_array_equal(response.outputs, reference.outputs)
+            np.testing.assert_array_equal(response.power, reference.power)
+
+    def test_concurrent_threads_coalesce_and_get_their_own_rows(self):
+        requests = _requests((1,) * 16)
+        barrier = threading.Barrier(8)
+        facade = BatchingOracle(
+            _oracle("paper/mnist-softmax"),
+            ServiceConfig(max_batch=16, max_wait_ms=20),
+        )
+
+        def client(request):
+            barrier.wait()
+            return facade.query(request)
+
+        try:
+            with concurrent.futures.ThreadPoolExecutor(8) as pool:
+                responses = list(pool.map(client, requests[:8]))
+            for request, response in zip(requests[:8], responses):
+                np.testing.assert_array_equal(response.queries, request)
+            assert facade.stats.coalescing_factor > 1.0
+        finally:
+            facade.close()
+
+    def test_oracle_surface_passthroughs(self):
+        oracle = _oracle("paper/mnist-softmax")
+        with BatchingOracle(oracle) as facade:
+            assert facade.n_outputs == N_CLASSES
+            assert facade.output_mode == "raw"
+            facade.query(np.ones((2, N_FEATURES)))
+            assert facade.queries_used == 2
+            facade.reset_counter()
+            assert facade.queries_used == 0
+            labels = facade.predict_labels(np.ones((3, N_FEATURES)))
+            assert labels.shape == (3,)
+            assert facade.queries_used == 0  # evaluation helpers are free
+
+    def test_close_is_idempotent(self):
+        facade = BatchingOracle(_oracle("paper/mnist-softmax"))
+        facade.query(np.ones((1, N_FEATURES)))
+        facade.close()
+        facade.close()
+
+
+class TestServiceRegressionGate:
+    """CI-facing behaviour of the bench_service gate in check_bench_regression."""
+
+    @staticmethod
+    def _load_script():
+        import importlib.util
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parent.parent
+        spec = importlib.util.spec_from_file_location(
+            "check_bench_regression_for_service_tests",
+            repo_root / "scripts" / "check_bench_regression.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    @staticmethod
+    def _passing_results():
+        return {
+            "engine": {
+                "oracle_query": [{"batch_size": 16, "speedup": 2.5}],
+                "array_ops_per_power_query_batch": 1,
+            },
+            "bench_service": {
+                "responses_identical": True,
+                "direct_s": 0.02,
+                "concurrency": [
+                    {"concurrency": 1, "speedup_vs_direct": 0.5},
+                    {"concurrency": 8, "speedup_vs_direct": 1.6},
+                    {"concurrency": 32, "speedup_vs_direct": 2.4},
+                ],
+            },
+        }
+
+    def test_passing_payload(self):
+        check = self._load_script()
+        assert check.check_results(self._passing_results()) == []
+
+    def test_slow_service_fails(self):
+        check = self._load_script()
+        results = self._passing_results()
+        for row in results["bench_service"]["concurrency"]:
+            row["speedup_vs_direct"] = 1.2
+        failures = check.check_results(results)
+        assert any("below the required" in failure for failure in failures)
+
+    def test_non_identical_responses_fail(self):
+        check = self._load_script()
+        results = self._passing_results()
+        results["bench_service"]["responses_identical"] = False
+        failures = check.check_results(results)
+        assert any("bit-identical" in failure for failure in failures)
+
+    def test_low_concurrency_only_fails(self):
+        check = self._load_script()
+        results = self._passing_results()
+        results["bench_service"]["concurrency"] = [
+            {"concurrency": 1, "speedup_vs_direct": 0.5}
+        ]
+        failures = check.check_results(results)
+        assert any("concurrency >= 8" in failure for failure in failures)
+
+    def test_tolerance_relaxes_the_floor(self):
+        check = self._load_script()
+        results = self._passing_results()
+        for row in results["bench_service"]["concurrency"]:
+            row["speedup_vs_direct"] = 1.8
+        assert check.check_results(results)  # fails at the strict 2.0 floor
+        assert check.check_results(results, tolerance=0.15) == []
+
+    def test_absent_section_is_not_checked(self):
+        check = self._load_script()
+        results = self._passing_results()
+        del results["bench_service"]
+        assert check.check_results(results) == []
+
+
+class TestBatchingMeasurementFacade:
+    def test_prober_through_the_service_matches_direct_replay(self):
+        """The per-column probing attack, each probe one service request."""
+        measurement = PowerMeasurement(
+            _target("noisy-device"), noise_std=0.02, random_state=5
+        )
+        with BatchingMeasurement(measurement, ServiceConfig(max_wait_ms=0)) as facade:
+            prober = ColumnNormProber(facade, N_FEATURES, batched=False)
+            probed = prober.probe_all()
+            service = facade.service
+            seeds = [service.seeds_for(i, 1) for i in range(N_FEATURES)]
+        assert probed.queries_used == N_FEATURES
+
+        direct = PowerMeasurement(
+            _target("noisy-device"), noise_std=0.02, random_state=5
+        )
+        replayed = np.array(
+            [
+                direct.measure(np.eye(N_FEATURES)[i], seeds=seeds[i])
+                for i in range(N_FEATURES)
+            ]
+        )
+        np.testing.assert_array_equal(probed.column_sums, replayed)
+
+    def test_scalar_shape_convention(self):
+        measurement = PowerMeasurement(_target("paper/mnist-softmax"))
+        with BatchingMeasurement(measurement) as facade:
+            scalar = facade.measure(np.ones(N_FEATURES))
+            assert isinstance(scalar, float)
+            batch = facade.measure(np.ones((3, N_FEATURES)))
+            assert batch.shape == (3,)

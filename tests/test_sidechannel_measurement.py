@@ -134,6 +134,54 @@ class TestAcquisitionQuantization:
         assert correlations[0] < correlations[1] <= correlations[2]
         assert correlations[2] == pytest.approx(1.0)
 
+    def test_fixed_range_quantization_is_batch_invariant(self, rng):
+        target = _StaticTarget([1.0, 2.0])
+        batch = rng.uniform(size=(32, 2))
+        measurement = PowerMeasurement(
+            target, quantization_bits=3, range_hint=(0.0, 3.0)
+        )
+        whole = measurement.measure(batch)
+        alone = np.array([measurement.measure(row) for row in batch])
+        np.testing.assert_array_equal(whole, alone)
+        # the levels come from the configured span, not the batch
+        levels = np.unique(whole)
+        step = 3.0 / 7
+        np.testing.assert_allclose(levels / step, np.rint(levels / step))
+
+    def test_fixed_range_saturates_at_the_rails(self):
+        target = _StaticTarget([1.0])
+        measurement = PowerMeasurement(
+            target, quantization_bits=4, range_hint=(0.0, 1.0)
+        )
+        readings = measurement.measure(np.array([[-5.0], [0.5], [9.0]]))
+        assert readings[0] == pytest.approx(0.0)  # clipped low
+        assert readings[2] == pytest.approx(1.0)  # clipped high
+
+    def test_calibrate_mode_freezes_the_first_range(self, rng):
+        target = _StaticTarget([1.0, 2.0])
+        first = rng.uniform(size=(16, 2))
+        measurement = PowerMeasurement(
+            target, quantization_bits=4, range_hint="calibrate"
+        )
+        exact = PowerMeasurement(target).measure(first)
+        measurement.measure(first)  # calibrates to this batch's span
+        assert measurement._calibrated_range == (
+            pytest.approx(exact.min()),
+            pytest.approx(exact.max()),
+        )
+        # later out-of-range acquisitions saturate against the frozen span
+        beyond = measurement.measure(np.array([10.0, 10.0]))
+        assert beyond == pytest.approx(exact.max())
+
+    def test_invalid_range_hint(self):
+        target = _StaticTarget([1.0])
+        with pytest.raises(ValueError):
+            PowerMeasurement(target, range_hint="autofit")
+        with pytest.raises(ValueError):
+            PowerMeasurement(target, range_hint=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            PowerMeasurement(target, range_hint=(0.0, np.inf))
+
     def test_works_against_real_crossbar(self, rng):
         weights = rng.normal(size=(4, 6))
         array = CrossbarArray(weights, random_state=0)
