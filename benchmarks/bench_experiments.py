@@ -66,6 +66,13 @@ def test_experiments_registry_sweep(single_round, benchmark):
 
     identical = _results_identical(serial, parallel)
     total_jobs = sum(len(result.sweep) for result in serial.values())
+    # Pool economics for the regression record: with chunked submission the
+    # per-job overhead is (pool wall time minus the perfectly-parallel ideal)
+    # spread over the jobs — the quantity the chunking fix drives down.
+    n_workers = runner.resolve_workers(total_jobs)
+    per_job_overhead_s = max(0.0, parallel_s - serial_s / n_workers) / max(
+        1, total_jobs
+    )
     bench_engine.record_timings(
         "bench_experiments",
         {
@@ -73,12 +80,16 @@ def test_experiments_registry_sweep(single_round, benchmark):
             "n_jobs": total_jobs,
             "serial_s": serial_s,
             "process_s": parallel_s,
+            "n_workers": n_workers,
+            "chunksize": runner.chunksize(total_jobs),
+            "per_job_overhead_s": per_job_overhead_s,
             "results_identical": identical,
         },
     )
     benchmark.extra_info["n_jobs"] = total_jobs
     benchmark.extra_info["serial_s"] = round(serial_s, 2)
     benchmark.extra_info["process_s"] = round(parallel_s, 2)
+    benchmark.extra_info["per_job_overhead_ms"] = round(per_job_overhead_s * 1e3, 2)
 
     assert set(serial) == set(list_experiments())
     assert identical, "process-pool results diverged from the serial path"

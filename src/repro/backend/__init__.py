@@ -1,0 +1,32 @@
+"""Pluggable array-API compute backends (numpy / torch / cupy).
+
+See :mod:`repro.backend.core` for the design contract: numpy is the
+bit-exact always-available reference, optional backends are detected at
+import time and skipped gracefully when absent, and all seeded noise is
+generated host-side so the seeded path stays bit-identical within any
+single backend.
+"""
+
+from repro.backend.core import (
+    BACKEND_NAMES,
+    SUPPORTED_DTYPES,
+    ArrayBackend,
+    BackendUnavailableError,
+    CupyBackend,
+    TorchBackend,
+    available_backends,
+    backend_available,
+    get_backend,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "SUPPORTED_DTYPES",
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "CupyBackend",
+    "TorchBackend",
+    "available_backends",
+    "backend_available",
+    "get_backend",
+]

@@ -32,18 +32,36 @@ read.  Three properties of that state drive the engine:
 Measurement noise (``current_measurement_noise``) is applied *after* the
 cached dot product, so repeated total-current reads remain independently
 noisy even when the effective state is cached.
+
+Compute backends
+----------------
+All hot-path math goes through a pluggable
+:class:`~repro.backend.ArrayBackend` (``backend="numpy"|"torch"|"cupy"|
+"auto"``).  The cached effective-state operands are kept *device-resident* —
+one host→device transfer per program/invalidate, not per query — while the
+public methods keep accepting and returning host numpy arrays.  Seeded noise
+is always generated host-side from the stateless counter-keyed streams and
+shipped to the device, so within any one backend the seeded path stays a
+bitwise pure function of ``(inputs, seeds)``; the numpy/float64 default
+performs exactly the historical operations and is bit-identical to the
+pre-backend engine.  ``dtype="float32"`` selects the fast path (documented
+~1e-6 relative tolerance vs the float64 reference), and
+``batch_invariant=True`` routes the *unseeded* path through the same
+fixed-reduction-order einsum kernel family as the seeded path, trading BLAS
+throughput for bitwise batch-size invariance without seeds.
 """
 
 from __future__ import annotations
 
-from typing import NamedTuple, Optional, Tuple
+from typing import NamedTuple, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend
 from repro.crossbar.devices import NVMDeviceModel
 from repro.crossbar.mapping import ConductanceMapping
 from repro.crossbar.nonidealities import NonidealityConfig
-from repro.utils.rng import RandomState, as_rng, sample_stream
+from repro.utils.rng import RandomState, as_rng, sample_stream, seeded_noise_factors
 from repro.utils.validation import check_matrix
 
 #: Stream-path domain tag for array-level noise (see :func:`sample_stream`).
@@ -58,14 +76,18 @@ class _EffectiveState(NamedTuple):
 
     ``g_plus`` / ``g_minus`` are the *programmed* arrays the state was built
     from (identity-checked on cache lookup); ``effective`` and ``column_sums``
-    are the attenuated differential matrix and conductance sums actually used
-    by the analogue operations.
+    are the host-side attenuated differential matrix and conductance sums,
+    and ``effective_dev`` / ``column_sums_dev`` their device-resident
+    counterparts in the backend's compute dtype (the same objects on the
+    numpy/float64 reference path — no copy is made).
     """
 
     g_plus: np.ndarray
     g_minus: np.ndarray
     effective: np.ndarray
     column_sums: np.ndarray
+    effective_dev: object
+    column_sums_dev: object
 
 
 class CrossbarArray:
@@ -94,6 +116,18 @@ class CrossbarArray:
         Optional non-ideal effects.
     random_state:
         Seed for programming noise, stuck devices and read noise.
+    backend:
+        Compute backend for the hot-path kernels: ``None``/``"numpy"`` (the
+        bit-exact reference), ``"torch"``/``"cupy"`` (optional device
+        backends), ``"auto"`` (best available), or an
+        :class:`~repro.backend.ArrayBackend` instance.
+    dtype:
+        Compute dtype, ``"float64"`` (reference) or ``"float32"`` (fast
+        path, ~1e-6 relative tolerance).
+    batch_invariant:
+        Route the *unseeded* path through the seeded path's fixed-shape
+        einsum kernels so unseeded results are bitwise batch-size invariant
+        (slower than BLAS; default off).
     """
 
     def __init__(
@@ -103,6 +137,9 @@ class CrossbarArray:
         mapping: Optional[ConductanceMapping] = None,
         nonidealities: Optional[NonidealityConfig] = None,
         random_state: RandomState = None,
+        backend: Union[None, str, ArrayBackend] = None,
+        dtype: Union[str, np.dtype] = "float64",
+        batch_invariant: bool = False,
     ):
         weights = check_matrix(weights, "weights")
         self.mapping = mapping if mapping is not None else ConductanceMapping()
@@ -111,6 +148,7 @@ class CrossbarArray:
         )
         self._rng = as_rng(random_state)
         self._reference_weights = weights.copy()
+        self._init_backend(backend, dtype, batch_invariant)
         self._state_cache: Optional[_EffectiveState] = None
         self._n_operations = 0
         self._n_realizations = 0
@@ -118,6 +156,12 @@ class CrossbarArray:
 
         self.g_plus, self.g_minus = self.mapping.map(weights, random_state=self._rng)
         self._apply_static_nonidealities()
+
+    def _init_backend(self, backend, dtype, batch_invariant) -> None:
+        self.backend = get_backend(backend)
+        self._dtype = self.backend.dtype(dtype)
+        self.dtype = self.backend.dtype_name(self._dtype)
+        self.batch_invariant = bool(batch_invariant)
 
     @classmethod
     def from_conductances(
@@ -129,6 +173,9 @@ class CrossbarArray:
         nonidealities: Optional[NonidealityConfig] = None,
         reference_weights: Optional[np.ndarray] = None,
         random_state: RandomState = None,
+        backend: Union[None, str, ArrayBackend] = None,
+        dtype: Union[str, np.dtype] = "float64",
+        batch_invariant: bool = False,
     ) -> "CrossbarArray":
         """Build an array from already-programmed conductance matrices.
 
@@ -162,6 +209,7 @@ class CrossbarArray:
             nonidealities if nonidealities is not None else NonidealityConfig()
         )
         array._rng = as_rng(random_state)
+        array._init_backend(backend, dtype, batch_invariant)
         array.g_plus = g_plus
         array.g_minus = g_minus
         if reference_weights is None:
@@ -172,6 +220,19 @@ class CrossbarArray:
         array._n_realizations = 0
         array.noise_tag = 0
         return array
+
+    def program(self, weights: np.ndarray) -> None:
+        """Re-program the array with a new weight matrix.
+
+        Runs the full programming path — mapping, programming noise, static
+        non-idealities — on ``weights`` using the array's own generator, and
+        drops the cached effective state (including the device-resident
+        operands) so the next operation realises the new devices.
+        """
+        weights = check_matrix(weights, "weights")
+        self._reference_weights = weights.copy()
+        self.g_plus, self.g_minus = self.mapping.map(weights, random_state=self._rng)
+        self._apply_static_nonidealities()
 
     # ----------------------------------------------------------- properties
 
@@ -248,10 +309,11 @@ class CrossbarArray:
     # ------------------------------------------------------------- dynamics
 
     def invalidate_state_cache(self) -> None:
-        """Drop the cached effective state.
+        """Drop the cached effective state (and its device-resident operands).
 
         Required after mutating ``g_plus`` / ``g_minus`` *in place*; rebinding
-        either attribute to a new array is detected automatically.
+        either attribute to a new array is detected automatically.  The next
+        operation re-realises the state and pays one host→device transfer.
         """
         self._state_cache = None
 
@@ -295,7 +357,18 @@ class CrossbarArray:
         attenuation = self._ir_drop_attenuation(g_plus, g_minus)
         effective = (g_plus - g_minus) * attenuation[np.newaxis, :]
         column_sums = ((g_plus + g_minus) * attenuation[np.newaxis, :]).sum(axis=0)
-        state = _EffectiveState(self.g_plus, self.g_minus, effective, column_sums)
+        # One host->device transfer per realization; with a deterministic
+        # device the state is cached, so the operands stay device-resident
+        # until program()/invalidate_state_cache() and every query pays only
+        # the batch transfer.  On numpy/float64 asarray is a no-copy view.
+        state = _EffectiveState(
+            self.g_plus,
+            self.g_minus,
+            effective,
+            column_sums,
+            self.backend.asarray(effective, self._dtype),
+            self.backend.asarray(column_sums, self._dtype),
+        )
         self._n_realizations += 1
         if deterministic:
             self._state_cache = state
@@ -311,13 +384,54 @@ class CrossbarArray:
             )
         return batch, single
 
-    def _apply_measurement_noise(self, currents: np.ndarray) -> np.ndarray:
+    def _apply_measurement_noise(self, currents):
+        """Multiplicative instrument noise on (host or device) currents.
+
+        Noise factors are always drawn host-side from the array's own
+        generator — exactly the draws the pre-backend engine made — and
+        shipped to the device for the elementwise multiply.
+        """
         noise = self.nonidealities.current_measurement_noise
         if noise > 0:
-            currents = currents * (
-                1.0 + self._rng.normal(0.0, noise, size=currents.shape)
-            )
+            factors = 1.0 + self._rng.normal(0.0, noise, size=tuple(currents.shape))
+            currents = currents * self.backend.asarray(factors, self._dtype)
         return currents
+
+    # ------------------------------------------------------ unseeded kernels
+
+    def _product_kernels(self, batch: np.ndarray, state: _EffectiveState, *,
+                         want_outputs: bool, want_totals: bool):
+        """The unseeded hot-path products on the device-resident operands.
+
+        Default: BLAS ``matmul`` (fastest).  With :attr:`batch_invariant`
+        the same fixed-reduction-order einsum family as the seeded path is
+        used instead, so a row's result is bitwise independent of the batch
+        it rides in even without seeds.
+        """
+        vb = self.backend.asarray(batch, self._dtype)
+        if self.batch_invariant:
+            outputs = (
+                self.backend.einsum("ij,kj->ik", vb, state.effective_dev)
+                if want_outputs
+                else None
+            )
+            totals = (
+                self.backend.einsum("ij,j->i", vb, state.column_sums_dev)
+                if want_totals
+                else None
+            )
+        else:
+            outputs = (
+                self.backend.matmul(vb, state.effective_dev.T)
+                if want_outputs
+                else None
+            )
+            totals = (
+                self.backend.matmul(vb, state.column_sums_dev)
+                if want_totals
+                else None
+            )
+        return outputs, totals
 
     # ------------------------------------------------------ seeded operations
 
@@ -350,22 +464,33 @@ class CrossbarArray:
         """
         seeds = self._validate_seeds(sample_seeds, batch)
         self._n_operations += 1
+        noise = self.nonidealities.current_measurement_noise
         if self.device.read_noise == 0:
             state = self._realize_state()
+            vb = self.backend.asarray(batch, self._dtype)
             # einsum, not BLAS matmul: its per-row reduction order does not
             # depend on the batch size, so a row's result is bitwise the same
             # whether it is computed alone or inside a coalesced batch (BLAS
             # gemm/gemv pick different kernels per shape and break that).
             outputs = (
-                np.einsum("ij,kj->ik", batch, state.effective)
+                self.backend.einsum("ij,kj->ik", vb, state.effective_dev)
                 if want_outputs
                 else None
             )
             totals = (
-                np.einsum("ij,j->i", batch, state.column_sums)
+                self.backend.einsum("ij,j->i", vb, state.column_sums_dev)
                 if want_totals
                 else None
             )
+            if want_totals and noise > 0:
+                factors = seeded_noise_factors(
+                    seeds, _ARRAY_DOMAIN, self.noise_tag, _RAIL_CHANNEL, std=noise
+                )
+                totals = totals * self.backend.asarray(factors, self._dtype)
+            if want_outputs:
+                outputs = self.backend.to_numpy(outputs)
+            if want_totals:
+                totals = self.backend.to_numpy(totals)
         else:
             outputs = (
                 np.empty((len(batch), self.n_rows)) if want_outputs else None
@@ -382,11 +507,12 @@ class CrossbarArray:
                 if want_totals:
                     column_sums = ((g_plus + g_minus) * attenuation).sum(axis=0)
                     totals[i] = row @ column_sums
-        noise = self.nonidealities.current_measurement_noise
-        if want_totals and noise > 0:
-            for i, seed in enumerate(seeds):
-                rng = sample_stream(seed, _ARRAY_DOMAIN, self.noise_tag, _RAIL_CHANNEL)
-                totals[i] = totals[i] * (1.0 + rng.normal(0.0, noise))
+            # The per-row realization loop is host-side physics (fresh noisy
+            # conductances per row); its rail noise stays host-side too.
+            if want_totals and noise > 0:
+                totals = totals * seeded_noise_factors(
+                    seeds, _ARRAY_DOMAIN, self.noise_tag, _RAIL_CHANNEL, std=noise
+                )
         return outputs, totals
 
     def matvec(
@@ -415,7 +541,10 @@ class CrossbarArray:
         else:
             state = self._realize_state()
             self._n_operations += 1
-            currents = batch @ state.effective.T
+            currents, _ = self._product_kernels(
+                batch, state, want_outputs=True, want_totals=False
+            )
+            currents = self.backend.to_numpy(currents)
         return currents[0] if single else currents
 
     def total_current(
@@ -435,7 +564,10 @@ class CrossbarArray:
         else:
             state = self._realize_state()
             self._n_operations += 1
-            currents = self._apply_measurement_noise(batch @ state.column_sums)
+            _, currents = self._product_kernels(
+                batch, state, want_outputs=False, want_totals=True
+            )
+            currents = self.backend.to_numpy(self._apply_measurement_noise(currents))
         return float(currents[0]) if single else currents
 
     def matvec_with_current(
@@ -465,8 +597,11 @@ class CrossbarArray:
         else:
             state = self._realize_state()
             self._n_operations += 1
-            outputs = batch @ state.effective.T
-            totals = self._apply_measurement_noise(batch @ state.column_sums)
+            outputs, totals = self._product_kernels(
+                batch, state, want_outputs=True, want_totals=True
+            )
+            outputs = self.backend.to_numpy(outputs)
+            totals = self.backend.to_numpy(self._apply_measurement_noise(totals))
         if single:
             return outputs[0], float(totals[0])
         return outputs, totals

@@ -87,6 +87,10 @@ class CrossbarTile:
         Converter models; ``None`` means ideal converters.
     random_state:
         Seed for stochastic hardware effects.
+    backend / dtype / batch_invariant:
+        Compute-backend knobs forwarded to every physical
+        :class:`~repro.crossbar.array.CrossbarArray` (see that class);
+        converters and activations stay host-side.
     """
 
     def __init__(
@@ -98,10 +102,18 @@ class CrossbarTile:
         dac: Optional[DAC] = None,
         adc: Optional[ADC] = None,
         random_state: RandomState = None,
+        backend=None,
+        dtype="float64",
+        batch_invariant: bool = False,
     ):
         self.layer = layer
         self.activation: Activation = get_activation(layer.activation)
         self._has_bias_column = bool(layer.use_bias)
+        self._engine_opts = {
+            "backend": backend,
+            "dtype": dtype,
+            "batch_invariant": batch_invariant,
+        }
 
         weights = layer.weights
         if self._has_bias_column:
@@ -129,6 +141,7 @@ class CrossbarTile:
             mapping=mapping,
             nonidealities=nonidealities,
             random_state=random_state,
+            **self._engine_opts,
         )
         self._conductance_scale = self.array.mapping.conductance_per_unit_weight(weights)
 
@@ -341,6 +354,9 @@ class ShardedTileGroup(CrossbarTile):
         adc: Optional[ADC] = None,
         runner=None,
         random_state: RandomState = None,
+        backend=None,
+        dtype="float64",
+        batch_invariant: bool = False,
     ):
         if not isinstance(sharding, ShardingSpec):
             raise TypeError(
@@ -361,6 +377,9 @@ class ShardedTileGroup(CrossbarTile):
             dac=dac,
             adc=adc,
             random_state=random_state,
+            backend=backend,
+            dtype=dtype,
+            batch_invariant=batch_invariant,
         )
 
     # ----------------------------------------------------------------- engine
@@ -390,6 +409,7 @@ class ShardedTileGroup(CrossbarTile):
             mapping=shard_mapping,
             nonidealities=nonidealities,
             random_state=rng,
+            **self._engine_opts,
         )
 
         row_sections, col_sections = self._sharding.shard_sections(*weights.shape)
@@ -414,6 +434,7 @@ class ShardedTileGroup(CrossbarTile):
                         nonidealities=nonidealities,
                         reference_weights=weights[np.ix_(rows, cols)],
                         random_state=shard_rngs[index],
+                        **self._engine_opts,
                     )
                 )
             self.shards.append(row_arrays)
@@ -582,6 +603,9 @@ def build_tile(
     adc: Optional[ADC] = None,
     runner=None,
     random_state: RandomState = None,
+    backend=None,
+    dtype="float64",
+    batch_invariant: bool = False,
 ) -> CrossbarTile:
     """Place one layer on hardware: a single tile, or a sharded tile group.
 
@@ -597,6 +621,9 @@ def build_tile(
             dac=dac,
             adc=adc,
             random_state=random_state,
+            backend=backend,
+            dtype=dtype,
+            batch_invariant=batch_invariant,
         )
     return ShardedTileGroup(
         layer,
@@ -607,4 +634,7 @@ def build_tile(
         adc=adc,
         runner=runner,
         random_state=random_state,
+        backend=backend,
+        dtype=dtype,
+        batch_invariant=batch_invariant,
     )

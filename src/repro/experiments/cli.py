@@ -56,6 +56,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="job execution mode (default: serial; 'process' uses a worker pool)",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        choices=("numpy", "torch", "cupy", "auto"),
+        help="compute backend for the crossbar kernels (overrides every "
+        "selected scenario; default: keep each scenario's own setting)",
+    )
+    parser.add_argument(
+        "--dtype",
+        default=None,
+        choices=("float32", "float64"),
+        help="kernel dtype (float64 = bit-exact reference, float32 = fast "
+        "path; overrides every selected scenario)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -98,9 +112,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if names:
         for name in names:
             get_experiment(name)  # fail fast on unknown names
-    if args.scenarios:
-        for name in args.scenarios:
-            get_scenario(name)
+    scenarios = args.scenarios
+    if scenarios:
+        scenarios = [get_scenario(name) for name in scenarios]
+    if args.backend or args.dtype:
+        overrides = {}
+        if args.backend:
+            overrides["backend"] = args.backend
+        if args.dtype:
+            overrides["dtype"] = args.dtype
+        from repro.experiments.scenario import resolve_scenarios
+
+        scenarios = [
+            spec.with_overrides(**overrides)
+            for spec in resolve_scenarios(scenarios)
+        ]
 
     runner = None
     if args.mode != "serial":
@@ -111,7 +137,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         names,
         args.scale,
         runner=runner,
-        scenarios=args.scenarios,
+        scenarios=scenarios,
         base_seed=args.base_seed,
         output_dir=args.output_dir,
     )

@@ -11,6 +11,8 @@ runner to :func:`run_multi_seed` (or to ``run_figure5``).
 
 from __future__ import annotations
 
+import math
+import os
 import pickle
 import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -105,6 +107,14 @@ class ParallelRunner:
     state.  The probe is O(1) in the sweep size, so a heterogeneous
     ``args_list`` whose *later* entries are unpicklable is the caller's
     responsibility and surfaces as an error from the pool.
+
+    Scheduling: process mode submits jobs in **chunks** — one contiguous
+    block per worker — instead of one pickled round-trip per job.  Sweep
+    jobs are short (tens of milliseconds) and numerous, so per-job IPC
+    dominated the pool's wall clock (measured ~1.5x *slower* than serial for
+    51 short jobs on a small machine); chunking amortises the pickling and
+    queue traffic over ``len(jobs) / n_workers`` calls while preserving
+    result order.  The pool is also never wider than the job list.
     """
 
     VALID_MODES = ("process", "thread", "serial")
@@ -135,9 +145,22 @@ class ParallelRunner:
         executor_cls = (
             ProcessPoolExecutor if mode == "process" else ThreadPoolExecutor
         )
+        workers = self.resolve_workers(len(args_list))
         payloads = [(fn, args) for args in args_list]
-        with executor_cls(max_workers=self.max_workers) as executor:
-            return list(executor.map(_call_star, payloads))
+        map_kwargs = {}
+        if mode == "process":
+            map_kwargs["chunksize"] = self.chunksize(len(args_list))
+        with executor_cls(max_workers=workers) as executor:
+            return list(executor.map(_call_star, payloads, **map_kwargs))
+
+    def resolve_workers(self, n_jobs: int) -> int:
+        """The actual pool width for ``n_jobs`` (never wider than the jobs)."""
+        workers = self.max_workers or os.cpu_count() or 1
+        return max(1, min(workers, n_jobs))
+
+    def chunksize(self, n_jobs: int) -> int:
+        """Process-mode chunk size: one contiguous block per worker."""
+        return max(1, math.ceil(n_jobs / self.resolve_workers(n_jobs)))
 
     def run_multi_seed(
         self,

@@ -108,6 +108,16 @@ class ScenarioSpec:
         :class:`~repro.service.facade.BatchingOracle`).  The service changes
         *how* queries reach the hardware — never the physics — and serviced
         responses are bit-identical to direct seeded queries.
+    backend:
+        Compute backend running the accelerator's hot-path kernels:
+        ``"numpy"`` (the bit-exact reference and default), ``"torch"`` /
+        ``"cupy"`` (optional accelerator backends), or ``"auto"`` (best
+        available).  Like the service, the backend changes *where* the
+        arithmetic runs — never the physics; within any single backend the
+        seeded measurement path stays bit-identical.
+    dtype:
+        Kernel dtype: ``"float64"`` (reference) or ``"float32"`` (fast path,
+        ~1e-6 relative tolerance vs the reference).
     description:
         One-line human-readable summary for listings.
     """
@@ -127,6 +137,8 @@ class ScenarioSpec:
     defense_strength: float = 0.0
     sharding: Optional[ShardingSpec] = None
     service: Optional[ServiceConfig] = None
+    backend: str = "numpy"
+    dtype: str = "float64"
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -181,6 +193,17 @@ class ScenarioSpec:
                 f"service must be a ServiceConfig or None, "
                 f"got {type(self.service).__name__}"
             )
+        from repro.backend import BACKEND_NAMES, SUPPORTED_DTYPES
+
+        if self.backend not in BACKEND_NAMES + ("auto",):
+            raise ValueError(
+                f"backend must be one of {BACKEND_NAMES + ('auto',)}, "
+                f"got {self.backend!r}"
+            )
+        if self.dtype not in SUPPORTED_DTYPES:
+            raise ValueError(
+                f"dtype must be one of {SUPPORTED_DTYPES}, got {self.dtype!r}"
+            )
 
     # ------------------------------------------------------------- utilities
 
@@ -208,6 +231,8 @@ class ScenarioSpec:
             and self.defense is None
             and (self.sharding is None or self.sharding.is_trivial)
             and self.service is None
+            and self.backend == "numpy"
+            and self.dtype == "float64"
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -318,6 +343,8 @@ class ScenarioSpec:
             adc=adc,
             sharding=self.sharding,
             random_state=random_state,
+            backend=self.backend,
+            dtype=self.dtype,
         )
         if self.defense == "power-noise":
             return PowerNoiseDefense(

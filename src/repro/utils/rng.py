@@ -134,6 +134,25 @@ def sample_stream(seed: int, *path: int) -> np.random.Generator:
     return np.random.default_rng(np.random.SeedSequence(entropy))
 
 
+def seeded_noise_factors(seeds, *path: int, std: float) -> np.ndarray:
+    """Per-row multiplicative noise factors ``1 + N(0, std)``, one per seed.
+
+    The backend-agnostic counter-based sampler of the seeded measurement
+    path: row ``i``'s factor is drawn from the stateless
+    :func:`sample_stream` keyed on ``(seeds[i], *path)`` — exactly the
+    stream the scalar per-row loop historically used — so the realizations
+    are a pure function of the counter-derived seeds, independent of batch
+    composition, call order, and compute backend.  Generation happens on
+    the host (seeds and streams never live on a device); array backends
+    receive the factors via one ``asarray`` transfer and apply them with an
+    elementwise multiply, which keeps the seeded path bit-identical within
+    each backend.
+    """
+    return np.array(
+        [1.0 + sample_stream(int(seed), *path).normal(0.0, std) for seed in seeds]
+    )
+
+
 def fold_seed(seed: int, *path: int) -> int:
     """Derive a child ``uint64`` seed from ``seed`` and a consumer path.
 

@@ -1,0 +1,383 @@
+"""Pluggable compute-backend suite: resolution, bit-identity, cache residency.
+
+The backend subsystem's contract is three-fold:
+
+* **Resolution** — :func:`repro.backend.get_backend` maps specs (``None``,
+  names, ``"auto"``, instances) to shared singletons, and absent optional
+  backends fail loudly with :class:`BackendUnavailableError` instead of
+  half-working.
+* **Bit-identity** — within any single backend the seeded oracle path is a
+  pure function of ``(inputs, seeds)`` across batch compositions, and the
+  numpy/float64 default is bitwise identical to the historical pre-backend
+  engine (the default-constructed accelerator).
+* **Residency** — the device-resident effective-state operands are dropped
+  (and rebuilt) by ``program()`` / ``invalidate_state_cache()``, never reused
+  stale.
+
+Every test parametrized over :func:`available_backends` runs on whatever this
+machine has — numpy always, torch/cupy only when installed — so the suite
+passes unchanged on bare CI runners and GPU boxes alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.oracle import Oracle
+from repro.backend import (
+    BACKEND_NAMES,
+    SUPPORTED_DTYPES,
+    ArrayBackend,
+    BackendUnavailableError,
+    available_backends,
+    backend_available,
+    get_backend,
+)
+from repro.crossbar.accelerator import CrossbarAccelerator
+from repro.crossbar.array import CrossbarArray
+from repro.experiments.scenario import ScenarioSpec, get_scenario
+from repro.nn.layers import Dense
+from repro.nn.network import Sequential
+from repro.utils.rng import derive_request_seeds
+
+pytestmark = pytest.mark.backends
+
+N_FEATURES = 16
+N_CLASSES = 5
+N_QUERIES = 9
+
+
+def _small_network():
+    return Sequential(
+        [Dense(N_FEATURES, N_CLASSES, activation="softmax", random_state=0)]
+    )
+
+
+def _build_accelerator(**kwargs):
+    return CrossbarAccelerator(_small_network(), random_state=0, **kwargs)
+
+
+def _query_batch():
+    return np.random.default_rng(11).uniform(0.0, 1.0, size=(N_QUERIES, N_FEATURES))
+
+
+def _splits():
+    """Batch partitions to compare against the whole batch: singles + chunks."""
+    singles = [(i, i + 1) for i in range(N_QUERIES)]
+    chunks = [(0, 3), (3, 7), (7, N_QUERIES)]
+    return singles + chunks
+
+
+class TestGetBackend:
+    """Spec resolution: names, None, auto, instances, failure modes."""
+
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+        assert backend_available("numpy")
+
+    def test_default_is_numpy(self):
+        backend = get_backend()
+        assert backend.name == "numpy"
+        assert get_backend(None) is backend
+        assert get_backend("numpy") is backend
+
+    def test_instances_are_singletons(self):
+        for name in available_backends():
+            assert get_backend(name) is get_backend(name)
+
+    def test_instance_passthrough(self):
+        backend = get_backend("numpy")
+        assert get_backend(backend) is backend
+
+    def test_auto_resolves_to_best_available(self):
+        assert get_backend("auto").name == available_backends()[0]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("fortran")
+
+    def test_absent_backend_raises(self):
+        missing = [n for n in BACKEND_NAMES if n not in available_backends()]
+        if not missing:  # pragma: no cover - machine with every backend
+            pytest.skip("every optional backend is installed here")
+        with pytest.raises(BackendUnavailableError, match=missing[0]):
+            get_backend(missing[0])
+
+    def test_dtype_round_trip(self):
+        for name in available_backends():
+            backend = get_backend(name)
+            for spec in SUPPORTED_DTYPES:
+                assert backend.dtype_name(backend.dtype(spec)) == spec
+            with pytest.raises(ValueError):
+                backend.dtype("float16")
+
+    def test_asarray_to_numpy_round_trip(self):
+        values = np.linspace(-1.0, 1.0, 12).reshape(3, 4)
+        for name in available_backends():
+            backend = get_backend(name)
+            device = backend.asarray(values, backend.dtype("float64"))
+            np.testing.assert_array_equal(backend.to_numpy(device), values)
+
+
+class TestSeededBitIdentity:
+    """Seeded queries are a pure function of (inputs, seeds) per backend."""
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_rows_identical_across_batch_sizes(self, name):
+        oracle = Oracle(
+            _build_accelerator(backend=name),
+            expose_power=True,
+            power_noise_std=0.04,
+            random_state=5,
+        )
+        inputs = _query_batch()
+        seeds = derive_request_seeds(0, 0, N_QUERIES)
+        whole = oracle.query(inputs, seeds=seeds)
+        for lo, hi in _splits():
+            part = oracle.query(inputs[lo:hi], seeds=seeds[lo:hi])
+            np.testing.assert_array_equal(part.outputs, whole.outputs[lo:hi])
+            np.testing.assert_array_equal(part.power, whole.power[lo:hi])
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_repeat_queries_identical(self, name):
+        oracle = Oracle(
+            _build_accelerator(backend=name),
+            expose_power=True,
+            power_noise_std=0.04,
+            random_state=5,
+        )
+        inputs = _query_batch()
+        seeds = derive_request_seeds(0, 2, N_QUERIES)
+        first = oracle.query(inputs, seeds=seeds)
+        second = oracle.query(inputs, seeds=seeds)
+        np.testing.assert_array_equal(first.outputs, second.outputs)
+        np.testing.assert_array_equal(first.power, second.power)
+
+    def test_numpy_backend_matches_default_construction(self):
+        """Explicit backend="numpy" is bitwise the pre-backend engine."""
+        default = _build_accelerator()
+        explicit = _build_accelerator(backend="numpy", dtype="float64")
+        inputs = _query_batch()
+        out_default, power_default = default.forward_with_power(inputs)
+        out_explicit, power_explicit = explicit.forward_with_power(inputs)
+        np.testing.assert_array_equal(out_explicit, out_default)
+        np.testing.assert_array_equal(
+            power_explicit.total_current, power_default.total_current
+        )
+        np.testing.assert_array_equal(
+            power_explicit.per_tile_current, power_default.per_tile_current
+        )
+
+    def test_float32_tracks_float64_within_tolerance(self):
+        """The documented fast path: same physics, ~single-precision error."""
+        reference = _build_accelerator(dtype="float64")
+        fast = _build_accelerator(dtype="float32")
+        inputs = _query_batch()
+        out_ref, power_ref = reference.forward_with_power(inputs)
+        out_fast, power_fast = fast.forward_with_power(inputs)
+        np.testing.assert_allclose(out_fast, out_ref, rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(
+            power_fast.total_current, power_ref.total_current, rtol=1e-4
+        )
+
+    def test_float32_is_actually_single_precision(self):
+        array = CrossbarArray(
+            np.random.default_rng(0).normal(size=(4, 3)), dtype="float32"
+        )
+        state = array._realize_state()
+        assert np.asarray(state.effective_dev).dtype == np.float32
+
+
+class TestBatchInvariantKernels:
+    """Opt-in einsum kernels make the *unseeded* path batch-size invariant."""
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_unseeded_rows_identical_across_batch_sizes(self, name):
+        array = CrossbarArray(
+            np.random.default_rng(3).normal(size=(N_CLASSES, N_FEATURES)),
+            random_state=0,
+            backend=name,
+            batch_invariant=True,
+        )
+        inputs = _query_batch()
+        whole_out, whole_cur = array.matvec_with_current(inputs)
+        for lo, hi in _splits():
+            part_out, part_cur = array.matvec_with_current(inputs[lo:hi])
+            np.testing.assert_array_equal(
+                np.atleast_2d(part_out), whole_out[lo:hi]
+            )
+            np.testing.assert_array_equal(
+                np.atleast_1d(part_cur), whole_cur[lo:hi]
+            )
+
+    def test_kernels_agree_with_blas_path(self):
+        weights = np.random.default_rng(4).normal(size=(N_CLASSES, N_FEATURES))
+        blas = CrossbarArray(weights, random_state=0)
+        einsum = CrossbarArray(weights, random_state=0, batch_invariant=True)
+        inputs = _query_batch()
+        np.testing.assert_allclose(
+            einsum.matvec(inputs), blas.matvec(inputs), rtol=1e-12
+        )
+
+
+class TestStateCacheResidency:
+    """Device operands live exactly as long as the programmed conductances."""
+
+    def _array(self, **kwargs):
+        return CrossbarArray(
+            np.random.default_rng(7).normal(size=(N_CLASSES, N_FEATURES)),
+            random_state=0,
+            **kwargs,
+        )
+
+    def test_state_is_cached_until_invalidated(self):
+        array = self._array()
+        state = array._realize_state()
+        assert array._realize_state() is state
+        array.invalidate_state_cache()
+        rebuilt = array._realize_state()
+        assert rebuilt is not state
+
+    def test_invalidate_drops_device_operands(self):
+        array = self._array(dtype="float32")
+        state = array._realize_state()
+        array.invalidate_state_cache()
+        rebuilt = array._realize_state()
+        assert rebuilt.effective_dev is not state.effective_dev
+        assert rebuilt.column_sums_dev is not state.column_sums_dev
+
+    def test_program_drops_device_operands_and_changes_results(self):
+        array = self._array()
+        inputs = _query_batch()
+        before = array.matvec(inputs)
+        state = array._realize_state()
+        new_weights = np.random.default_rng(8).normal(
+            size=(N_CLASSES, N_FEATURES)
+        )
+        array.program(new_weights)
+        rebuilt = array._realize_state()
+        assert rebuilt is not state
+        assert rebuilt.effective_dev is not state.effective_dev
+        after = array.matvec(inputs)
+        assert not np.array_equal(after, before)
+        # and the fresh operands actually drive the kernels
+        np.testing.assert_allclose(
+            after,
+            np.atleast_2d(inputs) @ np.asarray(rebuilt.effective_dev).T,
+            rtol=1e-12,
+        )
+
+    def test_accelerator_shares_one_backend_instance(self):
+        accelerator = _build_accelerator(backend="numpy")
+        assert isinstance(accelerator.backend, ArrayBackend)
+        for array in accelerator.physical_arrays:
+            assert array.backend is accelerator.backend
+
+
+class TestBackendRegressionGate:
+    """CI-facing behaviour of the engine.backends gate in check_bench_regression."""
+
+    @staticmethod
+    def _load_script():
+        import importlib.util
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parent.parent
+        spec = importlib.util.spec_from_file_location(
+            "check_bench_regression_for_backend_tests",
+            repo_root / "scripts" / "check_bench_regression.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    @staticmethod
+    def _engine_with_backends(entries, skipped=("cupy", "torch")):
+        return {
+            "engine": {
+                "oracle_query": [{"batch_size": 16, "speedup": 2.5}],
+                "array_ops_per_power_query_batch": 1,
+                "backends": {"entries": entries, "skipped": list(skipped)},
+            }
+        }
+
+    @staticmethod
+    def _numpy_entry(peak=1.05):
+        return {
+            "backend": "numpy",
+            "device": "cpu",
+            "dtype": "float64",
+            "rows": [{"batch_size": 16, "speedup_vs_reference": peak}],
+            "peak_speedup_vs_reference": peak,
+        }
+
+    def test_numpy_entry_with_healthy_ratio_passes(self):
+        check = self._load_script()
+        results = self._engine_with_backends([self._numpy_entry()])
+        assert check.check_results(results) == []
+        assert check.recorded_backends(results) == ["numpy"]
+
+    def test_skipped_optional_backends_pass(self):
+        """A machine without torch/cupy must pass with only a numpy entry."""
+        check = self._load_script()
+        results = self._engine_with_backends(
+            [self._numpy_entry()], skipped=("cupy", "torch")
+        )
+        assert check.check_results(results) == []
+
+    def test_missing_numpy_entry_fails(self):
+        check = self._load_script()
+        results = self._engine_with_backends([])
+        failures = check.check_results(results)
+        assert any("numpy entry" in failure for failure in failures)
+
+    def test_slow_backend_fails_on_peak_ratio(self):
+        check = self._load_script()
+        results = self._engine_with_backends([self._numpy_entry(peak=0.80)])
+        failures = check.check_results(results)
+        assert any("best ratio" in failure for failure in failures)
+
+    def test_tolerance_relaxes_the_ratio_floor(self):
+        check = self._load_script()
+        results = self._engine_with_backends([self._numpy_entry(peak=0.90)])
+        assert check.check_results(results)  # fails at the strict 0.95 floor
+        assert check.check_results(results, tolerance=0.15) == []
+
+    def test_legacy_record_without_backends_key_is_not_checked(self):
+        check = self._load_script()
+        results = self._engine_with_backends([self._numpy_entry()])
+        del results["engine"]["backends"]
+        assert check.check_results(results) == []
+        assert check.recorded_backends(results) == []
+
+
+class TestScenarioKnobs:
+    """ScenarioSpec carries the knobs and validates them at construction."""
+
+    def test_invalid_backend_rejected(self):
+        spec = get_scenario("paper/mnist-softmax")
+        with pytest.raises(ValueError, match="backend"):
+            spec.with_overrides(backend="fortran")
+
+    def test_invalid_dtype_rejected(self):
+        spec = get_scenario("paper/mnist-softmax")
+        with pytest.raises(ValueError, match="dtype"):
+            spec.with_overrides(dtype="float16")
+
+    def test_round_trip_preserves_knobs(self):
+        spec = get_scenario("paper/mnist-softmax").with_overrides(
+            backend="auto", dtype="float32"
+        )
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert clone.backend == "auto"
+        assert clone.dtype == "float32"
+
+    def test_paper_ideal_requires_reference_configuration(self):
+        spec = get_scenario("paper/mnist-softmax")
+        assert spec.is_paper_ideal
+        assert not spec.with_overrides(dtype="float32").is_paper_ideal
+
+    def test_build_accelerator_threads_knobs(self):
+        spec = get_scenario("paper/mnist-softmax").with_overrides(dtype="float32")
+        accelerator = spec.build_accelerator(_small_network(), random_state=0)
+        assert accelerator.dtype == "float32"
+        assert accelerator.backend.name == "numpy"

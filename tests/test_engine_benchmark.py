@@ -76,6 +76,10 @@ def test_check_bench_regression_script(smoke_results, tmp_path):
             "0.0",
             "--min-peak-speedup",
             "1.2",
+            # The ~1.0 backend ratio sits below timer noise at these tiny
+            # smoke sizes; the strict 0.95 floor is for dedicated bench runs.
+            "--min-backend-ratio",
+            "0.5",
         ],
         capture_output=True,
         text=True,
