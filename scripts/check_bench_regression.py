@@ -12,6 +12,7 @@ non-zero when any gate fails::
                                              [--min-probing-speedup 1.0]
                                              [--max-sharded-ratio 1.2]
                                              [--min-service-speedup 2.0]
+                                             [--min-net-speedup 1.3]
                                              [--min-backend-ratio 0.95]
 
 ``--tolerance`` applies a uniform fractional slack to every threshold
@@ -53,6 +54,11 @@ Gated sections:
   must have been verified bit-identical to direct seeded queries, and the
   best throughput at offered concurrency >= 8 must beat the
   one-request-per-call baseline by ``--min-service-speedup`` (default 2.0x).
+* ``bench_netservice`` — the networked multi-tenant front-end: wire
+  responses must have been verified bit-identical to direct seeded queries,
+  and the best offered-load level at >= 8 worker processes must beat the
+  one-request-per-connection baseline by ``--min-net-speedup`` (default
+  1.3x — a single-core floor; multicore hosts measure far higher).
 
 Sections other than ``engine`` are only checked when present, so a partial
 benchmark run stays usable; ``engine`` is always required.
@@ -74,6 +80,7 @@ DEFAULT_THRESHOLDS = {
     "min_probing_speedup": 1.0,
     "max_sharded_ratio": 1.2,
     "min_service_speedup": 2.0,
+    "min_net_speedup": 1.3,
     "min_backend_ratio": 0.95,
 }
 
@@ -118,6 +125,7 @@ def check_results(
     min_probing_speedup = thresholds["min_probing_speedup"]
     max_sharded_ratio = thresholds["max_sharded_ratio"]
     min_service_speedup = thresholds["min_service_speedup"]
+    min_net_speedup = thresholds["min_net_speedup"]
     min_backend_ratio = thresholds["min_backend_ratio"]
 
     failures: list[str] = []
@@ -127,6 +135,7 @@ def check_results(
     failures.extend(_check_sharding_section(results, max_sharded_ratio))
     failures.extend(_check_sweeps_section(results))
     failures.extend(_check_service_section(results, min_service_speedup))
+    failures.extend(_check_netservice_section(results, min_net_speedup))
     engine = results.get("engine")
     if engine is None:
         return failures + [
@@ -361,6 +370,44 @@ def _check_service_section(results: dict, min_service_speedup: float) -> list[st
     return failures
 
 
+def _check_netservice_section(results: dict, min_net_speedup: float) -> list[str]:
+    """Gate the networked-service timings recorded by benchmarks/bench_netservice.py."""
+    payload = results.get("bench_netservice")
+    if payload is None:
+        return []
+    failures: list[str] = []
+    if payload.get("responses_identical") is not True:
+        failures.append(
+            "bench_netservice: wire responses were not verified bit-identical "
+            "to direct seeded queries"
+        )
+    baseline = payload.get("one_per_connection_s")
+    if not isinstance(baseline, (int, float)) or baseline <= 0:
+        failures.append(
+            "bench_netservice has no positive 'one_per_connection_s' wall time"
+        )
+    rows = payload.get("offered_load", [])
+    if not rows:
+        failures.append("bench_netservice recorded no offered-load rows")
+    eligible = [
+        row.get("speedup_vs_one_per_connection")
+        for row in rows
+        if isinstance(row.get("workers"), int) and row["workers"] >= 8
+    ]
+    eligible = [value for value in eligible if isinstance(value, (int, float))]
+    if rows and not eligible:
+        failures.append(
+            "bench_netservice recorded no offered-load rows at >= 8 workers"
+        )
+    if eligible and max(eligible) < min_net_speedup:
+        failures.append(
+            f"networked service best speedup {max(eligible):.2f}x at >= 8 "
+            f"workers is below the required {min_net_speedup:.2f}x vs "
+            "one-request-per-connection"
+        )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--path", type=Path, default=DEFAULT_PATH)
@@ -401,6 +448,11 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_THRESHOLDS["min_service_speedup"],
     )
     parser.add_argument(
+        "--min-net-speedup",
+        type=float,
+        default=DEFAULT_THRESHOLDS["min_net_speedup"],
+    )
+    parser.add_argument(
         "--min-backend-ratio",
         type=float,
         default=DEFAULT_THRESHOLDS["min_backend_ratio"],
@@ -415,6 +467,7 @@ def main(argv: list[str] | None = None) -> int:
         "min_probing_speedup": args.min_probing_speedup,
         "max_sharded_ratio": args.max_sharded_ratio,
         "min_service_speedup": args.min_service_speedup,
+        "min_net_speedup": args.min_net_speedup,
         "min_backend_ratio": args.min_backend_ratio,
     }
 

@@ -194,6 +194,25 @@ SERVICE_PRESET_CONFIGS: Dict[str, Tuple[str, int, float]] = {
 }
 
 
+#: Networked-front-end presets consumed by
+#: :func:`repro.netservice.config.get_netservice_preset`:
+#: ``name -> (max_batch, max_wait_ms, tenants)`` with ``tenants`` a tuple of
+#: ``(tenant name, weight, query_budget)`` triples.  Kept here as plain data
+#: so the shipped tenancy policies are configuration, not netservice-module
+#: code, in the same style as the scenario presets above.  ``net-paper`` is
+#: the single-tenant default; ``net-two-tenant`` pins the 1:3 weight split
+#: the fairness tests assert; ``net-budgeted`` caps a hostile tenant's rows
+#: while leaving the victim tenant unbounded (the cross-tenant-leakage
+#: study's setting).
+NETSERVICE_PRESET_CONFIGS: Dict[
+    str, Tuple[int, float, Tuple[Tuple[str, float, object], ...]]
+] = {
+    "net-paper": (64, 2.0, ()),
+    "net-two-tenant": (64, 2.0, (("alice", 1.0, None), ("bob", 3.0, None))),
+    "net-budgeted": (32, 2.0, (("attacker", 1.0, 512), ("victim", 2.0, None))),
+}
+
+
 #: Built-in scenario sweeps registered as ``sweep-*`` experiments:
 #: ``name -> (base scenario preset, knob path, value grid)``.  Kept here as
 #: plain data so the shipped ablation grids are configuration, not

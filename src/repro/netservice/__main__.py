@@ -1,0 +1,8 @@
+"""``python -m repro.netservice`` — serve or demo the networked service."""
+
+import sys
+
+from repro.netservice.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

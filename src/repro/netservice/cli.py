@@ -1,0 +1,192 @@
+"""Command-line front end for the networked query service.
+
+Serve a scenario-built victim accelerator to networked clients, or run a
+self-contained multi-tenant demo::
+
+    python -m repro.netservice serve --scenario paper/mnist-softmax --port 7707
+    python -m repro.netservice serve --preset net-two-tenant
+    python -m repro.netservice demo
+    python -m repro.netservice --list-presets
+
+``serve`` blocks until interrupted; ``demo`` starts a server on an
+ephemeral port, drives it with two weighted tenants from this process, and
+prints the per-tenant fairness/coalescing statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _build_oracle(scenario: str, random_state: int):
+    """A small scenario-built victim oracle (the demo/serve target)."""
+    from repro.attacks.oracle import Oracle
+    from repro.experiments.scenario import get_scenario
+    from repro.nn.layers import Dense
+    from repro.nn.network import Sequential
+
+    network = Sequential(
+        [Dense(16, 5, activation="softmax", random_state=random_state)]
+    )
+    accelerator = get_scenario(scenario).build_accelerator(
+        network, random_state=random_state
+    )
+    return Oracle(
+        accelerator,
+        expose_power=True,
+        power_noise_std=0.03,
+        random_state=random_state,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.netservice",
+        description="Serve one simulated accelerator to many networked tenants.",
+    )
+    parser.add_argument(
+        "command",
+        nargs="?",
+        choices=("serve", "demo"),
+        help="'serve' blocks on a TCP port; 'demo' runs a two-tenant tour",
+    )
+    parser.add_argument(
+        "--preset",
+        default="net-paper",
+        help="netservice preset (see --list-presets; default: net-paper)",
+    )
+    parser.add_argument(
+        "--scenario",
+        default="paper/mnist-softmax",
+        help="scenario preset the victim accelerator is built from "
+        "(default: paper/mnist-softmax)",
+    )
+    parser.add_argument("--host", default=None, help="listen address (default: 127.0.0.1)")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="listen port (default: ephemeral; the bound port is printed)",
+    )
+    parser.add_argument(
+        "--random-state", type=int, default=0, help="victim build seed (default: 0)"
+    )
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=64,
+        help="demo: requests per tenant (default: 64)",
+    )
+    parser.add_argument(
+        "--list-presets", action="store_true", help="list netservice presets and exit"
+    )
+    return parser
+
+
+def _serve(args) -> int:
+    import asyncio
+
+    from repro.netservice.config import get_netservice_preset
+    from repro.netservice.server import NetworkQueryService
+
+    config = get_netservice_preset(args.preset)
+    overrides = {}
+    if args.host is not None:
+        overrides["host"] = args.host
+    if args.port is not None:
+        overrides["port"] = args.port
+    if overrides:
+        from dataclasses import replace
+
+        config = replace(config, **overrides)
+    oracle = _build_oracle(args.scenario, args.random_state)
+
+    async def run():
+        async with NetworkQueryService(oracle, config) as server:
+            host, port = server.address
+            print(f"serving scenario {args.scenario!r} on {host}:{port} "
+                  f"(preset {args.preset!r}); Ctrl-C to drain and stop")
+            try:
+                await asyncio.Event().wait()
+            except asyncio.CancelledError:
+                pass
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\ndrained and stopped")
+    return 0
+
+
+def _demo(args) -> int:
+    from repro.netservice.client import NetClient
+    from repro.netservice.config import get_netservice_preset
+    from repro.netservice.server import serve_in_thread
+
+    config = get_netservice_preset("net-two-tenant")
+    oracle = _build_oracle(args.scenario, args.random_state)
+    rng = np.random.default_rng(args.random_state)
+    with serve_in_thread(oracle, config) as handle:
+        host, port = handle.address
+        print(f"demo server on {host}:{port} (tenants: alice w=1, bob w=3)")
+        with NetClient(handle.address, tenant="alice") as alice, NetClient(
+            handle.address, tenant="bob"
+        ) as bob:
+            for _ in range(args.queries):
+                batch = rng.uniform(0.0, 1.0, size=(2, 16))
+                alice.query(batch)
+                bob.query(batch)
+            stats = alice.stats()
+        print("\nper-tenant stats:")
+        for tenant, counters in sorted(stats["tenants"].items()):
+            print(
+                f"  {tenant:8s} weight={counters['weight']:<4g} "
+                f"rows_served={counters['rows_served']:<6d} "
+                f"coalescing_factor={counters['coalescing_factor']:.2f}"
+            )
+        service = stats["service"]
+        print(
+            f"\nservice: {service['n_requests']} requests fused into "
+            f"{service['n_ticks']} traversals "
+            f"(coalescing factor {service['coalescing_factor']:.2f})"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_presets:
+        from repro.experiments.config import NETSERVICE_PRESET_CONFIGS
+
+        for name, (max_batch, max_wait_ms, tenants) in sorted(
+            NETSERVICE_PRESET_CONFIGS.items()
+        ):
+            described = (
+                ", ".join(
+                    f"{tenant}(w={weight:g}"
+                    + (f", budget={budget}" if budget is not None else "")
+                    + ")"
+                    for tenant, weight, budget in tenants
+                )
+                or "single-tenant default"
+            )
+            print(
+                f"{name:16s} max_batch={max_batch:<4d} "
+                f"max_wait_ms={max_wait_ms:<4g} tenants: {described}"
+            )
+        return 0
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "demo":
+        return _demo(args)
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,226 @@
+"""Length-prefixed JSON+binary frame protocol of the networked service.
+
+One frame carries one request or one response::
+
+    +-------+---------+----------------+--------------------+---------------+
+    | magic | version | header length  |   header (JSON)    |  array bytes  |
+    | b"RN" | 1 byte  | uint32 big-end |   utf-8, hl bytes  | concatenated  |
+    +-------+---------+----------------+--------------------+---------------+
+
+The header is a small JSON object (request type, tenant, idempotency key,
+status, error code, ...).  ndarray payloads are **not** JSON-encoded: the
+header's ``"arrays"`` entry is an ordered list of ``{name, dtype, shape}``
+descriptors and the raw bytes follow the header back to back in that order
+(C-contiguous, native ``tobytes()`` layout).  This keeps power traces and
+query batches bit-exact over the wire — the bit-identity acceptance test
+depends on it — at zero serialisation cost beyond one contiguity copy.
+
+Both a blocking-socket codec (client side) and an asyncio-streams codec
+(server side) are provided over the same byte layout; every malformed or
+oversized frame raises :class:`~repro.netservice.errors.ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.netservice.errors import ConnectionLostError, ProtocolError
+
+#: Frame preamble: magic, protocol version, header length.
+MAGIC = b"RN"
+PROTOCOL_VERSION = 1
+_PREAMBLE = struct.Struct("!2sBI")
+
+#: Default ceiling on one frame's total size (header + arrays).  Large
+#: enough for a few thousand coalesced float64 rows, small enough that a
+#: corrupted length prefix cannot make either side allocate unbounded
+#: memory.
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: dtypes allowed on the wire (everything the oracle/measurement path emits).
+_WIRE_DTYPES = frozenset(
+    {"float64", "float32", "int64", "int32", "uint64", "bool"}
+)
+
+
+def _array_descriptors(arrays: Mapping[str, np.ndarray]):
+    """Build the header descriptor list + the contiguous payload chunks."""
+    descriptors = []
+    chunks = []
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        dtype = str(array.dtype)
+        if dtype not in _WIRE_DTYPES:
+            raise ProtocolError(
+                f"array {name!r} has non-wire dtype {dtype!r}; "
+                f"allowed: {sorted(_WIRE_DTYPES)}"
+            )
+        descriptors.append(
+            {"name": str(name), "dtype": dtype, "shape": list(array.shape)}
+        )
+        chunks.append(array.tobytes())
+    return descriptors, chunks
+
+
+def encode_frame(
+    header: Dict[str, Any],
+    arrays: Optional[Mapping[str, np.ndarray]] = None,
+) -> bytes:
+    """Serialise one frame (header dict + named ndarray payloads)."""
+    header = dict(header)
+    descriptors, chunks = _array_descriptors(arrays or {})
+    header["arrays"] = descriptors
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return b"".join(
+        [_PREAMBLE.pack(MAGIC, PROTOCOL_VERSION, len(header_bytes)), header_bytes]
+        + chunks
+    )
+
+
+def _decode_header(raw: bytes) -> Dict[str, Any]:
+    try:
+        header = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame header is not valid JSON: {exc}") from None
+    if not isinstance(header, dict):
+        raise ProtocolError(
+            f"frame header must be a JSON object, got {type(header).__name__}"
+        )
+    return header
+
+
+def _payload_length(descriptors, max_frame_bytes: int) -> Tuple[list, int]:
+    """Validate the descriptor list and return its total payload byte count."""
+    if not isinstance(descriptors, list):
+        raise ProtocolError("frame 'arrays' entry must be a list")
+    total = 0
+    parsed = []
+    for descriptor in descriptors:
+        try:
+            name = descriptor["name"]
+            dtype = str(descriptor["dtype"])
+            shape = tuple(int(n) for n in descriptor["shape"])
+        except (TypeError, KeyError, ValueError) as exc:
+            raise ProtocolError(f"malformed array descriptor {descriptor!r}: {exc}") from None
+        if dtype not in _WIRE_DTYPES:
+            raise ProtocolError(f"array {name!r} has non-wire dtype {dtype!r}")
+        if any(n < 0 for n in shape):
+            raise ProtocolError(f"array {name!r} has negative shape {shape}")
+        nbytes = int(np.dtype(dtype).itemsize * int(np.prod(shape, dtype=np.int64)))
+        total += nbytes
+        if total > max_frame_bytes:
+            raise ProtocolError(
+                f"frame payload exceeds max_frame_bytes={max_frame_bytes}"
+            )
+        parsed.append((name, dtype, shape, nbytes))
+    return parsed, total
+
+
+def _assemble(header: Dict[str, Any], parsed, payload: bytes):
+    arrays: Dict[str, np.ndarray] = {}
+    offset = 0
+    for name, dtype, shape, nbytes in parsed:
+        segment = payload[offset : offset + nbytes]
+        # .copy() yields an owned, writable array: request inputs flow into
+        # the oracle path, responses outlive the receive buffer.
+        arrays[name] = np.frombuffer(segment, dtype=dtype).reshape(shape).copy()
+        offset += nbytes
+    header.pop("arrays", None)
+    return header, arrays
+
+
+def _check_preamble(raw: bytes, max_frame_bytes: int) -> int:
+    magic, version, header_len = _PREAMBLE.unpack(raw)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} (this build speaks "
+            f"{PROTOCOL_VERSION})"
+        )
+    if header_len > max_frame_bytes:
+        raise ProtocolError(
+            f"frame header length {header_len} exceeds "
+            f"max_frame_bytes={max_frame_bytes}"
+        )
+    return header_len
+
+
+# ------------------------------------------------------------ asyncio codec
+
+
+async def read_frame(
+    reader, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+):
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    Returns ``(header, arrays)``.  Raises :class:`ConnectionLostError` on a
+    clean EOF *between* frames is left to the caller: an EOF before any
+    preamble byte raises ``asyncio.IncompleteReadError`` with zero partial
+    bytes, which the caller treats as a normal disconnect.
+    """
+    raw = await reader.readexactly(_PREAMBLE.size)
+    header_len = _check_preamble(raw, max_frame_bytes)
+    header = _decode_header(await reader.readexactly(header_len))
+    parsed, total = _payload_length(header.get("arrays", []), max_frame_bytes)
+    payload = await reader.readexactly(total) if total else b""
+    return _assemble(header, parsed, payload)
+
+
+def write_frame(writer, header, arrays=None) -> None:
+    """Queue one frame on an :class:`asyncio.StreamWriter` (callers drain)."""
+    writer.write(encode_frame(header, arrays))
+
+
+# ----------------------------------------------------------- blocking codec
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes from a blocking socket or raise."""
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except (ConnectionError, BrokenPipeError, OSError) as exc:
+            if isinstance(exc, socket.timeout):
+                raise
+            raise ConnectionLostError(f"connection lost mid-frame: {exc}") from exc
+        if not chunk:
+            raise ConnectionLostError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame_sync(
+    sock: socket.socket,
+    header: Dict[str, Any],
+    arrays: Optional[Mapping[str, np.ndarray]] = None,
+) -> None:
+    """Send one frame over a blocking socket."""
+    try:
+        sock.sendall(encode_frame(header, arrays))
+    except socket.timeout:
+        raise
+    except (ConnectionError, BrokenPipeError, OSError) as exc:
+        raise ConnectionLostError(f"connection lost while sending: {exc}") from exc
+
+
+def read_frame_sync(
+    sock: socket.socket, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+):
+    """Read one frame from a blocking socket; returns ``(header, arrays)``."""
+    raw = _recv_exactly(sock, _PREAMBLE.size)
+    header_len = _check_preamble(raw, max_frame_bytes)
+    header = _decode_header(_recv_exactly(sock, header_len))
+    parsed, total = _payload_length(header.get("arrays", []), max_frame_bytes)
+    payload = _recv_exactly(sock, total) if total else b""
+    return _assemble(header, parsed, payload)

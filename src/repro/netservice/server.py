@@ -1,0 +1,664 @@
+"""The networked multi-tenant front-end over the coalescing query service.
+
+:class:`NetworkQueryService` listens on TCP and feeds request frames from
+many independent client processes into one in-process
+:class:`~repro.service.coalescer.QueryService`, so every connected tenant
+shares the same simulated accelerator — and the same fused traversals.
+
+The pipeline, per request frame::
+
+    read_frame -> admission (tenant lookup, idempotency dedup)
+               -> per-tenant FIFO queue
+               -> weighted-fair scheduler (budget charge)
+               -> QueryService.submit_traced  (coalesced into shared ticks)
+               -> response frame (request_id + base_seed for bit-exact replay)
+
+Design points, each carrying one acceptance criterion:
+
+* **Bit-identity over the wire** — the embedded ``QueryService`` derives
+  per-request seeds exactly as in-process; responses carry the assigned
+  ``request_id`` and the service ``base_seed``, so any client (or test) can
+  replay ``oracle.query(inputs, seeds=derive_request_seeds(base_seed,
+  request_id, n_rows))`` and compare bit for bit.
+* **Fairness** — a virtual-time weighted-fair scheduler dequeues across
+  per-tenant FIFOs: tenant ``t``'s virtual time advances by
+  ``rows / weight_t`` per dispatched request and the scheduler always picks
+  the smallest virtual time, so under saturation rows served converge to
+  the weight ratio (``scheduler_window=1`` makes the order strict, which is
+  what the fairness tests pin down).
+* **Budgets + idempotency** — per-tenant ``query_budget`` is charged at
+  dispatch and refunded on failure; completed responses are cached per
+  idempotency key, so a client retry after a lost response is answered from
+  cache and never charged twice.
+* **Backpressure** — at most ``max_inflight_per_connection`` pipelined
+  frames are admitted per connection; beyond that the server simply stops
+  reading the socket and the kernel buffers push back to the client.
+* **Graceful drain** — ``stop()`` stops accepting, fails every queued
+  request with a typed ``service-closed`` error (never a hang), lets
+  in-flight ticks finish, and only then closes transports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.netservice.config import NetServiceConfig, TenantConfig
+from repro.netservice.errors import (
+    ProtocolError,
+    QueryBudgetExceeded,
+    ServiceClosedError,
+    ServiceUnavailableError,
+)
+from repro.netservice.protocol import PROTOCOL_VERSION, read_frame, write_frame
+from repro.service.coalescer import QueryService
+
+#: Tenant name used when a request frame does not carry one.
+DEFAULT_TENANT = "default"
+
+#: Completed responses remembered per tenant for idempotent retries.
+_IDEMPOTENCY_CACHE_SIZE = 1024
+
+
+@dataclass
+class TenantServiceStats:
+    """Per-tenant service counters (the cross-tenant experiment's hook).
+
+    ``coalescing_factor`` is the tenant's requests amortised per *distinct*
+    fused tick the tenant participated in — batch-mates from other tenants
+    shared those traversals, which is exactly the co-residency the
+    cross-tenant leakage study needs to measure.
+    """
+
+    tenant: str
+    weight: float
+    query_budget: Optional[int] = None
+    n_requests: int = 0
+    n_deduped: int = 0
+    rows_served: int = 0
+    rows_charged: int = 0
+    tick_ids: Set[int] = field(default_factory=set)
+
+    @property
+    def n_ticks(self) -> int:
+        return len(self.tick_ids)
+
+    @property
+    def coalescing_factor(self) -> float:
+        return self.n_requests / self.n_ticks if self.tick_ids else 0.0
+
+    @property
+    def budget_remaining(self) -> Optional[int]:
+        if self.query_budget is None:
+            return None
+        return max(0, self.query_budget - self.rows_charged)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "weight": self.weight,
+            "query_budget": self.query_budget,
+            "n_requests": self.n_requests,
+            "n_deduped": self.n_deduped,
+            "rows_served": self.rows_served,
+            "rows_charged": self.rows_charged,
+            "n_ticks": self.n_ticks,
+            "coalescing_factor": self.coalescing_factor,
+            "budget_remaining": self.budget_remaining,
+        }
+
+
+@dataclass(repr=False)
+class _QueuedRequest:
+    """One admitted query waiting for the weighted-fair scheduler."""
+
+    key: str
+    inputs: np.ndarray
+    rows: int
+    future: asyncio.Future
+
+    def __repr__(self) -> str:  # keep shutdown repr cheap, as in _Pending
+        return f"_QueuedRequest(key={self.key!r}, rows={self.rows})"
+
+
+class _TenantState:
+    """Scheduler-side state of one tenant."""
+
+    def __init__(self, policy: TenantConfig):
+        self.policy = policy
+        self.stats = TenantServiceStats(
+            tenant=policy.name,
+            weight=policy.weight,
+            query_budget=policy.query_budget,
+        )
+        self.queue: deque = deque()
+        self.vtime = 0.0
+        #: idempotency key -> completed (header, arrays) response
+        self.completed: "OrderedDict[str, Tuple[dict, dict]]" = OrderedDict()
+        #: idempotency key -> future of the in-flight request
+        self.inflight: Dict[str, asyncio.Future] = {}
+
+    def remember(self, key: str, response: Tuple[dict, dict]) -> None:
+        self.completed[key] = response
+        while len(self.completed) > _IDEMPOTENCY_CACHE_SIZE:
+            self.completed.popitem(last=False)
+
+
+class _Connection:
+    """Per-connection plumbing: serialised writes, bounded pipelining."""
+
+    def __init__(self, writer: asyncio.StreamWriter, max_inflight: int):
+        self.writer = writer
+        self.inflight = asyncio.Semaphore(max_inflight)
+        self.write_lock = asyncio.Lock()
+
+
+def _json_safe_metadata(metadata: dict) -> dict:
+    """The JSON-encodable subset of an OracleResponse's metadata."""
+    safe: Dict[str, Any] = {}
+    for key, value in metadata.items():
+        if isinstance(value, tuple):
+            value = list(value)
+        if isinstance(value, (str, int, float, bool, list, type(None))):
+            safe[key] = value
+    return safe
+
+
+class NetworkQueryService:
+    """TCP front-end serving one oracle/measurement to many client processes.
+
+    Parameters
+    ----------
+    target:
+        An :class:`~repro.attacks.oracle.Oracle`, a
+        :class:`~repro.sidechannel.measurement.PowerMeasurement`, or a
+        pre-built service backend adapter — whatever
+        :class:`~repro.service.coalescer.QueryService` accepts.
+    config:
+        The :class:`~repro.netservice.config.NetServiceConfig` policy.
+
+    Usage::
+
+        async with NetworkQueryService(oracle, config) as server:
+            print("serving on", server.address)
+            await server.wait_stopped()   # or do other work
+
+    Synchronous callers (tests, benchmarks, the CLI demo) should use
+    :func:`serve_in_thread` instead.
+    """
+
+    def __init__(self, target, config: Optional[NetServiceConfig] = None):
+        self.config = config if config is not None else NetServiceConfig()
+        self.service = QueryService(target, self.config.service)
+        self._tenants: Dict[str, _TenantState] = {}
+        for tenant in self.config.tenants:
+            self._tenants[tenant.name] = _TenantState(tenant)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._scheduler_task: Optional[asyncio.Task] = None
+        self._work = asyncio.Event()
+        self._sched_gate = asyncio.Event()
+        self._sched_gate.set()
+        self._window: Optional[asyncio.Semaphore] = None
+        self._vclock = 0.0
+        self._closing = False
+        self._started = False
+        self._connections: Set[_Connection] = set()
+        self._dispatch_tasks: Set[asyncio.Task] = set()
+        self._serve_tasks: Set[asyncio.Task] = set()
+        self._stopped_event = asyncio.Event()
+        #: Recent (tenant, rows) dispatch order — what the fairness tests
+        #: and the demo inspect.
+        self.dispatch_log: deque = deque(maxlen=4096)
+        #: Fault-injection hook: abort the connection instead of writing the
+        #: next N successful query responses (simulates a response lost to a
+        #: network failure *after* the work was done — the idempotent-retry
+        #: path's worst case).
+        self.drop_next_responses = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ``port=0`` ephemerals)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return str(host), int(port)
+
+    async def start(self) -> "NetworkQueryService":
+        """Bind the listen socket and start the scheduler (idempotent)."""
+        if self._started:
+            return self
+        self._closing = False
+        self._stopped_event.clear()
+        await self.service.start()
+        self._window = asyncio.Semaphore(self.config.scheduler_window)
+        self._scheduler_task = asyncio.get_running_loop().create_task(
+            self._scheduler()
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._started = True
+        return self
+
+    async def stop(self) -> None:
+        """Graceful drain: typed errors for queued work, never a hang."""
+        if not self._started:
+            return
+        self._closing = True
+        self._server.close()
+        # Scheduler first, so nothing new enters the coalescer mid-drain.
+        self._scheduler_task.cancel()
+        try:
+            await self._scheduler_task
+        except asyncio.CancelledError:
+            pass
+        # Everything still queued gets the typed drain error.
+        drain_error = ServiceUnavailableError(
+            "server is draining for shutdown; the request was not charged — "
+            "retry against the restarted service"
+        )
+        for state in self._tenants.values():
+            while state.queue:
+                request = state.queue.popleft()
+                state.inflight.pop(request.key, None)
+                if not request.future.done():
+                    request.future.set_exception(drain_error)
+        # In-flight ticks finish (the coalescer never strands a tick) ...
+        await self.service.stop()
+        if self._dispatch_tasks:
+            await asyncio.gather(*self._dispatch_tasks, return_exceptions=True)
+        # ... and their responses (plus the drain errors) flush out before
+        # the transports close.
+        if self._serve_tasks:
+            await asyncio.gather(*self._serve_tasks, return_exceptions=True)
+        await self._server.wait_closed()
+        for conn in list(self._connections):
+            conn.writer.close()
+        self._started = False
+        self._stopped_event.set()
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`stop` completes (for serve-forever callers)."""
+        await self._stopped_event.wait()
+
+    async def __aenter__(self) -> "NetworkQueryService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------- tenancy + stats
+
+    def _tenant(self, name: str) -> _TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            state = _TenantState(self.config.tenant_policy(name))
+            # Late joiners start at the current virtual clock so an idle
+            # tenant cannot bank unbounded credit against active ones.
+            state.vtime = self._vclock
+            self._tenants[name] = state
+        return state
+
+    def stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-tenant counters, keyed by tenant name."""
+        return {
+            name: state.stats.to_dict() for name, state in self._tenants.items()
+        }
+
+    def pause_scheduling(self) -> None:
+        """Hold the scheduler (admitted requests queue up; used by tests)."""
+        self._sched_gate.clear()
+
+    def resume_scheduling(self) -> None:
+        self._sched_gate.set()
+
+    # ------------------------------------------------------------ scheduler
+
+    def _next_tenant(self) -> Optional[_TenantState]:
+        backlogged = [
+            state for state in self._tenants.values() if state.queue
+        ]
+        if not backlogged:
+            return None
+        return min(backlogged, key=lambda state: (state.vtime, state.policy.name))
+
+    async def _scheduler(self) -> None:
+        while True:
+            await self._work.wait()
+            await self._sched_gate.wait()
+            state = self._next_tenant()
+            if state is None:
+                self._work.clear()
+                continue
+            request = state.queue.popleft()
+            if request.future.done():  # already failed/abandoned
+                state.inflight.pop(request.key, None)
+                continue
+            # Window bound: limits how far dispatch runs ahead of completion
+            # (window=1 degenerates to strict weighted-fair order).
+            await self._window.acquire()
+            self._vclock = max(self._vclock, state.vtime)
+            state.vtime += request.rows / state.policy.weight
+            self.dispatch_log.append((state.policy.name, request.rows))
+            task = asyncio.get_running_loop().create_task(
+                self._dispatch(state, request)
+            )
+            self._dispatch_tasks.add(task)
+            task.add_done_callback(self._dispatch_tasks.discard)
+
+    async def _dispatch(self, state: _TenantState, request: _QueuedRequest) -> None:
+        charged = False
+        try:
+            if self._closing:
+                raise ServiceUnavailableError(
+                    "server is draining for shutdown; the request was not "
+                    "charged — retry against the restarted service"
+                )
+            budget = state.policy.query_budget
+            if budget is not None and state.stats.rows_charged + request.rows > budget:
+                raise QueryBudgetExceeded(
+                    f"tenant {state.policy.name!r}: request of {request.rows} "
+                    f"rows would exceed the query budget of {budget} "
+                    f"(already charged {state.stats.rows_charged})"
+                )
+            state.stats.rows_charged += request.rows
+            charged = True
+            request_id, result = await self.service.submit_traced(
+                request.inputs, on_dispatch=state.stats.tick_ids.add
+            )
+            state.stats.n_requests += 1
+            state.stats.rows_served += request.rows
+            response = self._encode_result(request_id, result)
+            state.remember(request.key, response)
+            state.inflight.pop(request.key, None)
+            if not request.future.done():
+                request.future.set_result(response)
+        except Exception as exc:
+            # Failed work charges nothing (shared-bus semantics end to end).
+            if charged:
+                state.stats.rows_charged -= request.rows
+            state.inflight.pop(request.key, None)
+            if not request.future.done():
+                request.future.set_exception(exc)
+        finally:
+            self._window.release()
+
+    # ------------------------------------------------------------- requests
+
+    def _encode_result(self, request_id: int, result) -> Tuple[dict, dict]:
+        header: Dict[str, Any] = {
+            "type": "response",
+            "status": "ok",
+            "kind": self.service.backend.kind,
+            "request_id": int(request_id),
+            "base_seed": int(self.config.service.base_seed),
+        }
+        arrays: Dict[str, np.ndarray] = {}
+        if self.service.backend.kind == "oracle":
+            header["output_mode"] = result.output_mode
+            header["metadata"] = _json_safe_metadata(result.metadata)
+            arrays["outputs"] = result.outputs
+            arrays["labels"] = np.asarray(result.labels, dtype=np.int64)
+            if result.power is not None:
+                arrays["power"] = result.power
+            if result.per_tile_power is not None:
+                arrays["per_tile_power"] = result.per_tile_power
+        else:
+            arrays["readings"] = np.atleast_1d(np.asarray(result, dtype=float))
+        return header, arrays
+
+    async def _handle_query(self, header: dict, arrays: dict) -> Tuple[dict, dict]:
+        if self._closing:
+            raise ServiceUnavailableError(
+                "server is draining for shutdown; retry against the "
+                "restarted service"
+            )
+        tenant_name = header.get("tenant", DEFAULT_TENANT)
+        if not isinstance(tenant_name, str) or not tenant_name:
+            raise ProtocolError(f"invalid tenant {tenant_name!r}")
+        key = header.get("key")
+        if not isinstance(key, str) or not key:
+            raise ProtocolError(
+                "query frames must carry a string idempotency 'key'"
+            )
+        inputs = arrays.get("inputs")
+        if inputs is None:
+            raise ProtocolError("query frames must carry an 'inputs' array")
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        if inputs.size == 0:
+            raise ProtocolError("cannot serve an empty query")
+
+        state = self._tenant(tenant_name)
+        cached = state.completed.get(key)
+        if cached is not None:
+            # A retried request the server already served: answer from the
+            # idempotency cache — the tenant is never charged twice.
+            state.stats.n_deduped += 1
+            return cached
+        pending = state.inflight.get(key)
+        if pending is None:
+            pending = asyncio.get_running_loop().create_future()
+            state.inflight[key] = pending
+            state.queue.append(
+                _QueuedRequest(
+                    key=key, inputs=inputs, rows=len(inputs), future=pending
+                )
+            )
+            self._work.set()
+        else:
+            state.stats.n_deduped += 1
+        return await asyncio.shield(pending)
+
+    def _hello_header(self) -> dict:
+        header: Dict[str, Any] = {
+            "type": "response",
+            "status": "ok",
+            "server": "repro.netservice",
+            "protocol": PROTOCOL_VERSION,
+            "kind": self.service.backend.kind,
+            "base_seed": int(self.config.service.base_seed),
+        }
+        if self.service.backend.kind == "oracle":
+            oracle = self.service.backend.oracle
+            header["output_mode"] = oracle.output_mode
+            header["n_outputs"] = int(oracle.n_outputs)
+        return header
+
+    @staticmethod
+    def _error_header(exc: BaseException) -> dict:
+        if isinstance(exc, QueryBudgetExceeded):
+            code = "budget-exceeded"
+        elif isinstance(exc, (ServiceUnavailableError, ServiceClosedError)):
+            code = "service-closed"
+        elif isinstance(exc, ProtocolError):
+            code = "protocol"
+        else:
+            code = "remote-error"
+        return {
+            "type": "response",
+            "status": "error",
+            "code": code,
+            "error_type": type(exc).__name__,
+            "message": str(exc),
+        }
+
+    # ---------------------------------------------------------- connections
+
+    async def _send(self, conn: _Connection, header: dict, arrays) -> None:
+        async with conn.write_lock:
+            try:
+                write_frame(conn.writer, header, arrays)
+                await conn.writer.drain()
+            except (ConnectionError, OSError):
+                pass  # the client vanished; its retry will re-ask
+
+    async def _serve_frame(self, conn: _Connection, header: dict, arrays: dict) -> None:
+        try:
+            try:
+                request_type = header.get("type")
+                if request_type == "query":
+                    response_header, response_arrays = await self._handle_query(
+                        header, arrays
+                    )
+                    # cached responses are shared: never mutate them in place
+                    response_header = dict(response_header)
+                elif request_type == "hello":
+                    response_header, response_arrays = self._hello_header(), None
+                elif request_type == "ping":
+                    response_header, response_arrays = (
+                        {"type": "response", "status": "ok"},
+                        None,
+                    )
+                elif request_type == "stats":
+                    response_header, response_arrays = (
+                        {
+                            "type": "response",
+                            "status": "ok",
+                            "tenants": self.stats(),
+                            "service": self.service.stats.to_dict(),
+                        },
+                        None,
+                    )
+                else:
+                    raise ProtocolError(f"unknown request type {request_type!r}")
+            except Exception as exc:
+                response_header, response_arrays = self._error_header(exc), None
+            if "cid" in header:
+                response_header["cid"] = header["cid"]
+            if (
+                self.drop_next_responses > 0
+                and header.get("type") == "query"
+                and response_header.get("status") == "ok"
+            ):
+                # Fault injection: the work happened, the response is lost.
+                self.drop_next_responses -= 1
+                conn.writer.transport.abort()
+                return
+            await self._send(conn, response_header, response_arrays)
+        finally:
+            conn.inflight.release()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(writer, self.config.max_inflight_per_connection)
+        self._connections.add(conn)
+        try:
+            while True:
+                try:
+                    header, arrays = await read_frame(
+                        reader, max_frame_bytes=self.config.max_frame_bytes
+                    )
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                    break  # client went away (or we are closing transports)
+                except ProtocolError as exc:
+                    # A corrupted stream cannot be resynchronised: report
+                    # once, then drop the connection.
+                    await self._send(conn, self._error_header(exc), None)
+                    break
+                # Backpressure: stop reading while the pipeline is full.
+                await conn.inflight.acquire()
+                task = asyncio.get_running_loop().create_task(
+                    self._serve_frame(conn, header, arrays)
+                )
+                self._serve_tasks.add(task)
+                task.add_done_callback(self._serve_tasks.discard)
+        finally:
+            self._connections.discard(conn)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+# --------------------------------------------------------------- sync shim
+
+
+class ServerHandle:
+    """A running :class:`NetworkQueryService` on a private event-loop thread.
+
+    The synchronous analogue of the PR 5 facades, for tests, benchmarks and
+    the CLI demo: ``address`` is connectable immediately, ``close()`` drains
+    gracefully.  All interaction with the server object hops through its
+    loop, so cross-thread use is safe.
+    """
+
+    def __init__(self, target, config: Optional[NetServiceConfig] = None):
+        import threading
+
+        self.loop = asyncio.new_event_loop()
+        self.server = NetworkQueryService(target, config)
+        self._thread = threading.Thread(
+            target=self.loop.run_forever, name="repro-netservice", daemon=True
+        )
+        self._thread.start()
+        self._closed = False
+        self._call(self.server.start())
+
+    def _call(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server.address
+
+    def stats(self) -> Dict[str, Dict[str, Any]]:
+        async def snapshot():
+            return self.server.stats()
+
+        return self._call(snapshot())
+
+    def service_stats(self) -> Dict[str, Any]:
+        async def snapshot():
+            return self.server.service.stats.to_dict()
+
+        return self._call(snapshot())
+
+    def pause_scheduling(self) -> None:
+        self.loop.call_soon_threadsafe(self.server.pause_scheduling)
+
+    def resume_scheduling(self) -> None:
+        self.loop.call_soon_threadsafe(self.server.resume_scheduling)
+
+    def drop_responses(self, n: int) -> None:
+        """Arm the lost-response fault injection for the next ``n`` queries."""
+
+        def arm():
+            self.server.drop_next_responses += n
+
+        self.loop.call_soon_threadsafe(arm)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if not self._thread.is_alive():
+            return
+        self._call(self.server.stop())
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join()
+        self.loop.close()
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve_in_thread(
+    target, config: Optional[NetServiceConfig] = None
+) -> ServerHandle:
+    """Start a :class:`NetworkQueryService` on a background thread."""
+    return ServerHandle(target, config)

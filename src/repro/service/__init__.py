@@ -33,6 +33,7 @@ from repro.service.coalescer import (
     ServiceStats,
     resolve_backend,
 )
+from repro.service.errors import ServiceClosedError
 from repro.service.facade import BatchingMeasurement, BatchingOracle
 
 __all__ = [
@@ -41,6 +42,7 @@ __all__ = [
     "MeasurementBackend",
     "OracleBackend",
     "QueryService",
+    "ServiceClosedError",
     "ServiceConfig",
     "ServiceStats",
     "resolve_backend",

@@ -142,6 +142,10 @@ class _Pending:
     inputs: np.ndarray
     seeds: np.ndarray
     future: asyncio.Future
+    #: Optional observer called with the (1-based) tick index the request was
+    #: served in — the hook the networked front-end uses for per-tenant
+    #: coalescing statistics.  Called only on a successful dispatch.
+    on_dispatch: Optional[Any] = None
 
     def __repr__(self) -> str:
         # Deliberately compact: asyncio renders pending items into task/
@@ -248,6 +252,19 @@ class QueryService:
         Applies backpressure (awaits) while ``max_pending`` requests are
         already queued.
         """
+        _, response = await self.submit_traced(inputs)
+        return response
+
+    async def submit_traced(self, inputs: np.ndarray, *, on_dispatch=None):
+        """Like :meth:`submit`, returning ``(request_id, response)``.
+
+        The sequence number is what the response's noise seeds were derived
+        from (:meth:`seeds_for`), so a caller that needs to *replay* the
+        request later — e.g. the networked front-end, whose clients verify
+        wire responses against direct seeded queries — must observe it.
+        ``on_dispatch``, when given, is called with the 1-based index of the
+        tick that served the request (successful dispatches only).
+        """
         if not self.started:
             await self.start()
         inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
@@ -257,8 +274,8 @@ class QueryService:
         self._request_counter += 1
         seeds = self.seeds_for(request_id, len(inputs))
         future = asyncio.get_running_loop().create_future()
-        await self._queue.put(_Pending(inputs, seeds, future))
-        return await future
+        await self._queue.put(_Pending(inputs, seeds, future, on_dispatch))
+        return request_id, await future
 
     # ------------------------------------------------------------- dispatch
 
@@ -321,6 +338,8 @@ class QueryService:
             end = offset + len(pending.inputs)
             if not pending.future.done():
                 pending.future.set_result(self.backend.slice(fused, offset, end))
+            if pending.on_dispatch is not None:
+                pending.on_dispatch(self.stats.n_ticks)
             offset = end
 
     @property

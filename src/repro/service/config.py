@@ -7,7 +7,7 @@ object — the same design as :class:`~repro.experiments.scenario.ScenarioSpec`
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields
 from typing import Any, Dict, Mapping
 
 from repro.utils.validation import check_non_negative, check_positive_int
@@ -60,10 +60,28 @@ class ServiceConfig:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ServiceConfig":
-        """Reconstruct a :class:`ServiceConfig` written by :meth:`to_dict`."""
-        return cls(
-            max_batch=int(payload.get("max_batch", 64)),
-            max_wait_ms=float(payload.get("max_wait_ms", 2.0)),
-            max_pending=int(payload.get("max_pending", 256)),
-            base_seed=int(payload.get("base_seed", 0)),
-        )
+        """Reconstruct a :class:`ServiceConfig` written by :meth:`to_dict`.
+
+        Unknown keys are rejected rather than silently dropped — a typo'd
+        field in a scenario preset or a hand-edited result file must fail
+        loudly, matching :class:`~repro.experiments.scenario.ScenarioSpec`
+        strictness.  Missing keys keep their defaults, so older payloads
+        stay loadable.
+        """
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown ServiceConfig fields {unknown}; expected a subset "
+                f"of {sorted(known)}"
+            )
+        kwargs: Dict[str, Any] = {}
+        if "max_batch" in payload:
+            kwargs["max_batch"] = int(payload["max_batch"])
+        if "max_wait_ms" in payload:
+            kwargs["max_wait_ms"] = float(payload["max_wait_ms"])
+        if "max_pending" in payload:
+            kwargs["max_pending"] = int(payload["max_pending"])
+        if "base_seed" in payload:
+            kwargs["base_seed"] = int(payload["base_seed"])
+        return cls(**kwargs)

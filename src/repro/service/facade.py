@@ -21,14 +21,17 @@ import numpy as np
 
 from repro.service.config import ServiceConfig
 from repro.service.coalescer import QueryService, ServiceStats
+from repro.service.errors import ServiceClosedError
 
 
-class _ServiceThread:
+class _FacadeRuntime:
     """A daemon thread running one event loop with one started QueryService."""
 
     def __init__(self, target, config: Optional[ServiceConfig]):
         self.loop = asyncio.new_event_loop()
         self.service = QueryService(target, config)
+        self._closed = False
+        self._close_lock = threading.Lock()
         self._thread = threading.Thread(
             target=self.loop.run_forever, name="repro-query-service", daemon=True
         )
@@ -38,16 +41,31 @@ class _ServiceThread:
     def _call(self, coro):
         return asyncio.run_coroutine_threadsafe(coro, self.loop).result()
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def submit(self, inputs):
+        if self._closed:
+            raise ServiceClosedError(
+                "this facade has been closed; build a new "
+                "BatchingOracle/BatchingMeasurement to submit further queries"
+            )
         return self._call(self.service.submit(inputs))
 
     def close(self) -> None:
-        if not self._thread.is_alive():
-            return
-        self._call(self.service.stop())
-        self.loop.call_soon_threadsafe(self.loop.stop)
-        self._thread.join()
-        self.loop.close()
+        # Idempotent and race-safe: the first caller drains and tears down,
+        # every later (or concurrent) caller returns once teardown is done.
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            if not self._thread.is_alive():
+                return
+            self._call(self.service.stop())
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            self._thread.join()
+            self.loop.close()
 
 
 class _BatchingFacade:
@@ -56,7 +74,13 @@ class _BatchingFacade:
     def __init__(self, target, config: Optional[ServiceConfig] = None):
         self.target = target
         self.config = config if config is not None else ServiceConfig()
-        self._runtime = _ServiceThread(target, self.config)
+        self._runtime = _FacadeRuntime(target, self.config)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called; queries then raise
+        :class:`~repro.service.errors.ServiceClosedError`."""
+        return self._runtime.closed
 
     @property
     def service(self) -> QueryService:

@@ -1,0 +1,646 @@
+"""Tests for repro.netservice: the networked multi-tenant front-end.
+
+The acceptance properties:
+
+* **bit-identity over the wire** — responses served through
+  :class:`NetworkQueryService` are bit-identical to direct seeded backend
+  queries, for every registered scenario preset;
+* **fault tolerance** — a client survives injected lost responses and
+  server restarts via idempotent retries, with correct results and no
+  double-charged budget;
+* **fairness** — under saturating load from weighted tenants, the strict
+  weighted-fair dispatch order serves rows in the configured weight ratio;
+* **graceful drain** — a stopping server fails queued requests with a typed
+  error, never a hang.
+"""
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.attacks.oracle import Oracle
+from repro.experiments.scenario import SCENARIOS, list_scenarios
+from repro.netservice import (
+    NetClient,
+    NetServiceConfig,
+    ProtocolError,
+    QueryBudgetExceeded,
+    ServiceClosedError,
+    ServiceUnavailableError,
+    TenantConfig,
+    get_netservice_preset,
+    serve_in_thread,
+)
+from repro.netservice.protocol import (
+    MAGIC,
+    encode_frame,
+    read_frame_sync,
+    send_frame_sync,
+)
+from repro.nn.layers import Dense
+from repro.nn.network import Sequential
+from repro.service import ServiceConfig
+from repro.sidechannel.measurement import PowerMeasurement
+from repro.utils.rng import derive_request_seeds
+
+pytestmark = pytest.mark.netservice
+
+N_FEATURES = 16
+N_CLASSES = 5
+
+
+def _network():
+    return Sequential(
+        [Dense(N_FEATURES, N_CLASSES, activation="softmax", random_state=0)]
+    )
+
+
+def _target(name):
+    return SCENARIOS[name].build_accelerator(_network(), random_state=0)
+
+
+def _oracle(name):
+    return Oracle(
+        _target(name), expose_power=True, power_noise_std=0.03, random_state=7
+    )
+
+
+def _requests(sizes=(1, 3, 1, 2, 5, 1, 4)):
+    rng = np.random.default_rng(13)
+    return [rng.uniform(0.0, 1.0, size=(n, N_FEATURES)) for n in sizes]
+
+
+def _config(**kwargs):
+    kwargs.setdefault("service", ServiceConfig(max_batch=8, max_wait_ms=5))
+    kwargs.setdefault("backoff_base_s", 0.01)
+    kwargs.setdefault("backoff_max_s", 0.05)
+    return NetServiceConfig(**kwargs)
+
+
+def _replay_seeds(response):
+    """The derived seed stream a wire response advertises for replay."""
+    return derive_request_seeds(
+        response.metadata["base_seed"],
+        response.metadata["request_id"],
+        len(response.queries),
+    )
+
+
+class TestProtocol:
+    def test_frame_round_trip_sync(self):
+        rng = np.random.default_rng(0)
+        arrays = {
+            "outputs": rng.normal(size=(3, 5)),
+            "labels": np.array([1, 4, 0], dtype=np.int64),
+            "flags": np.array([True, False, True]),
+        }
+        header = {"type": "response", "status": "ok", "request_id": 9}
+        left, right = socket.socketpair()
+        try:
+            send_frame_sync(left, header, arrays)
+            decoded_header, decoded_arrays = read_frame_sync(right)
+        finally:
+            left.close()
+            right.close()
+        assert decoded_header == header  # 'arrays' descriptor list stripped
+        assert set(decoded_arrays) == set(arrays)
+        for name, array in arrays.items():
+            np.testing.assert_array_equal(decoded_arrays[name], array)
+            assert decoded_arrays[name].dtype == array.dtype
+
+    def test_bad_magic_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            frame = bytearray(encode_frame({"type": "ping"}))
+            frame[0:2] = b"XX"
+            left.sendall(bytes(frame))
+            with pytest.raises(ProtocolError, match="magic"):
+                read_frame_sync(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_version_mismatch_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            frame = bytearray(encode_frame({"type": "ping"}))
+            assert frame[0:2] == MAGIC
+            frame[2] = 99
+            left.sendall(bytes(frame))
+            with pytest.raises(ProtocolError, match="version"):
+                read_frame_sync(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_oversized_payload_rejected_before_allocation(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame_sync(left, {"type": "query"}, {"inputs": np.zeros((64, 8))})
+            with pytest.raises(ProtocolError, match="max_frame_bytes"):
+                read_frame_sync(right, max_frame_bytes=1024)
+        finally:
+            left.close()
+            right.close()
+
+    def test_non_wire_dtype_rejected_at_encode(self):
+        with pytest.raises(ProtocolError, match="dtype"):
+            encode_frame({"type": "x"}, {"bad": np.zeros(3, dtype=np.complex128)})
+
+
+class TestWireBitIdentity:
+    """Acceptance: served over TCP == direct seeded query, bit for bit."""
+
+    @pytest.mark.parametrize("name", list_scenarios())
+    def test_oracle_responses_bit_identical(self, name):
+        requests = _requests()
+        with serve_in_thread(_oracle(name), _config()) as handle:
+            with NetClient(handle.address, tenant="t0") as client:
+                responses = [client.query(request) for request in requests]
+        direct = _oracle(name)  # identically-built victim, fresh instance
+        for request, response in zip(requests, responses):
+            reference = direct.query(request, seeds=_replay_seeds(response))
+            np.testing.assert_array_equal(response.queries, reference.queries)
+            np.testing.assert_array_equal(response.outputs, reference.outputs)
+            np.testing.assert_array_equal(response.labels, reference.labels)
+            np.testing.assert_array_equal(response.power, reference.power)
+
+    def test_measurement_readings_bit_identical(self):
+        requests = _requests()
+        measurement = PowerMeasurement(
+            _target("noisy-device"), noise_std=0.05, random_state=3
+        )
+        with serve_in_thread(measurement, _config()) as handle:
+            base_seed = handle.server.config.service.base_seed
+            with NetClient(handle.address) as client:
+                readings = [client.measure(request) for request in requests]
+        direct = PowerMeasurement(_target("noisy-device"), noise_std=0.05, random_state=3)
+        for i, (request, served) in enumerate(zip(requests, readings)):
+            seeds = derive_request_seeds(base_seed, i, len(request))
+            reference = np.atleast_1d(direct.measure(request, seeds=seeds))
+            np.testing.assert_array_equal(served, reference)
+
+    def test_measurement_scalar_shape_convention(self):
+        measurement = PowerMeasurement(_target("paper/mnist-softmax"))
+        with serve_in_thread(measurement, _config()) as handle:
+            with NetClient(handle.address) as client:
+                scalar = client.measure(np.ones(N_FEATURES))
+                assert isinstance(scalar, float)
+                batch = client.measure(np.ones((3, N_FEATURES)))
+                assert batch.shape == (3,)
+
+    def test_concurrent_clients_coalesce(self):
+        """Multiple connections share fused traversals, rows stay their own."""
+        requests = _requests((1,) * 8)
+        barrier = threading.Barrier(8)
+        config = _config(service=ServiceConfig(max_batch=16, max_wait_ms=20))
+        with serve_in_thread(_oracle("paper/mnist-softmax"), config) as handle:
+
+            def client_run(request):
+                with NetClient(handle.address, tenant="shared") as client:
+                    barrier.wait()
+                    return client.query(request)
+
+            import concurrent.futures
+
+            with concurrent.futures.ThreadPoolExecutor(8) as pool:
+                responses = list(pool.map(client_run, requests))
+            stats = handle.service_stats()
+        for request, response in zip(requests, responses):
+            np.testing.assert_array_equal(response.queries, request)
+        assert stats["coalescing_factor"] > 1.0
+
+
+class TestFaultTolerance:
+    def test_lost_response_retried_idempotently(self):
+        """The response is dropped after the work ran: the retry must be
+        served from the idempotency cache, bit-identical and never
+        double-charged."""
+        with serve_in_thread(_oracle("paper/mnist-softmax"), _config()) as handle:
+            with NetClient(handle.address, tenant="flaky") as client:
+                first = client.query(np.ones((2, N_FEATURES)) * 0.3)
+                handle.drop_responses(1)
+                request = np.ones((3, N_FEATURES)) * 0.6
+                response = client.query(request)
+                assert client.n_retries >= 1
+                stats = client.stats()
+        direct = _oracle("paper/mnist-softmax")
+        reference = direct.query(request, seeds=_replay_seeds(response))
+        np.testing.assert_array_equal(response.outputs, reference.outputs)
+        np.testing.assert_array_equal(response.power, reference.power)
+        counters = stats["tenants"]["flaky"]
+        assert counters["n_deduped"] >= 1  # the retry hit the cache
+        # charged exactly once per logical request: 2 + 3 rows, no more
+        assert counters["rows_charged"] == len(first.queries) + len(request)
+        assert counters["rows_served"] == counters["rows_charged"]
+
+    def test_client_survives_server_restart(self):
+        oracle = _oracle("paper/mnist-softmax")
+        first_handle = serve_in_thread(oracle, _config())
+        host, port = first_handle.address
+        client = NetClient((host, port), tenant="durable", config=_config())
+        try:
+            client.query(np.ones((1, N_FEATURES)))
+            first_handle.close()
+            # Same port, fresh victim: request ids restart from 0.
+            second_handle = serve_in_thread(
+                _oracle("paper/mnist-softmax"), _config(host=host, port=port)
+            )
+            try:
+                request = np.ones((2, N_FEATURES)) * 0.4
+                response = client.query(request)
+                assert client.n_retries >= 1
+            finally:
+                second_handle.close()
+        finally:
+            client.close()
+        direct = _oracle("paper/mnist-softmax")
+        reference = direct.query(request, seeds=_replay_seeds(response))
+        np.testing.assert_array_equal(response.outputs, reference.outputs)
+
+    def test_submit_after_close_raises_service_closed(self):
+        with serve_in_thread(_oracle("paper/mnist-softmax"), _config()) as handle:
+            client = NetClient(handle.address)
+            client.query(np.ones((1, N_FEATURES)))
+            client.close()
+            client.close()  # idempotent
+            with pytest.raises(ServiceClosedError):
+                client.query(np.ones((1, N_FEATURES)))
+
+    def test_kind_mismatch_is_terminal(self):
+        with serve_in_thread(_oracle("paper/mnist-softmax"), _config()) as handle:
+            with NetClient(handle.address) as client:
+                with pytest.raises(ProtocolError, match="use query"):
+                    client.measure(np.ones(N_FEATURES))
+
+    def test_remote_failure_is_terminal_and_uncharged(self):
+        from repro.netservice.errors import RemoteServiceError
+
+        with serve_in_thread(_oracle("paper/mnist-softmax"), _config()) as handle:
+            with NetClient(handle.address, tenant="bad") as client:
+                with pytest.raises(RemoteServiceError):
+                    client.query(np.ones((1, N_FEATURES + 1)))  # wrong width
+                assert client.n_retries == 0
+                stats = client.stats()
+        assert stats["tenants"]["bad"]["rows_charged"] == 0
+
+
+class TestTenancy:
+    def test_weighted_fairness_under_saturation(self):
+        """Acceptance: with every request admitted before dispatch starts and
+        strict weighted-fair order (scheduler_window=1), rows served per
+        tenant track the 1:3 weight ratio in every meaningful prefix."""
+        config = _config(
+            tenants=(
+                TenantConfig("alice", weight=1.0),
+                TenantConfig("bob", weight=3.0),
+            ),
+            scheduler_window=1,
+            max_inflight_per_connection=64,
+            service=ServiceConfig(max_batch=1, max_wait_ms=0),
+        )
+        n_each = 24
+        with serve_in_thread(_oracle("paper/mnist-softmax"), config) as handle:
+            handle.pause_scheduling()
+            sockets = {}
+            try:
+                for tenant in ("alice", "bob"):
+                    sock = socket.create_connection(handle.address, timeout=30)
+                    sockets[tenant] = sock
+                    for i in range(n_each):
+                        send_frame_sync(
+                            sock,
+                            {"type": "query", "tenant": tenant, "key": f"{tenant}-{i}"},
+                            {"inputs": np.ones((1, N_FEATURES)) * 0.5},
+                        )
+                time.sleep(0.3)  # let every frame be admitted into the queues
+                handle.resume_scheduling()
+                for sock in sockets.values():
+                    for _ in range(n_each):
+                        header, _ = read_frame_sync(sock)
+                        assert header["status"] == "ok"
+            finally:
+                for sock in sockets.values():
+                    sock.close()
+            order = [tenant for tenant, _ in handle.server.dispatch_log]
+            stats = handle.stats()
+        # While both tenants are backlogged (first 4*k dispatches), strict
+        # WFQ serves alice:bob = 1:3 within one scheduling period.
+        for prefix in (8, 16, 24, 32):
+            window = order[:prefix]
+            alice = window.count("alice")
+            bob = window.count("bob")
+            assert abs(bob - 3 * alice) <= 3, (prefix, alice, bob)
+        assert stats["alice"]["rows_served"] == n_each
+        assert stats["bob"]["rows_served"] == n_each
+        assert stats["alice"]["weight"] == 1.0
+        assert stats["bob"]["weight"] == 3.0
+
+    def test_query_budget_enforced_and_never_overcharged(self):
+        config = _config(
+            tenants=(
+                TenantConfig("attacker", weight=1.0, query_budget=5),
+                TenantConfig("victim", weight=2.0),
+            )
+        )
+        with serve_in_thread(_oracle("paper/mnist-softmax"), config) as handle:
+            with NetClient(handle.address, tenant="attacker") as attacker, NetClient(
+                handle.address, tenant="victim"
+            ) as victim:
+                attacker.query(np.ones((2, N_FEATURES)))  # 2/5 charged
+                with pytest.raises(QueryBudgetExceeded):
+                    attacker.query(np.ones((4, N_FEATURES)))  # would be 6/5
+                assert attacker.n_retries == 0  # terminal: no retry storm
+                mid = attacker.stats()["tenants"]["attacker"]
+                assert mid["rows_charged"] == 2  # the failed request charged nothing
+                assert mid["budget_remaining"] == 3
+                attacker.query(np.ones((3, N_FEATURES)))  # exactly exhausts it
+                with pytest.raises(QueryBudgetExceeded):
+                    attacker.query(np.ones((1, N_FEATURES)))
+                victim.query(np.ones((4, N_FEATURES)))  # unbounded tenant unaffected
+                stats = victim.stats()
+        assert stats["tenants"]["attacker"]["rows_charged"] == 5
+        assert stats["tenants"]["attacker"]["budget_remaining"] == 0
+        assert stats["tenants"]["victim"]["rows_charged"] == 4
+        assert stats["tenants"]["victim"]["budget_remaining"] is None
+
+    def test_per_tenant_coalescing_stats(self):
+        config = _config(service=ServiceConfig(max_batch=16, max_wait_ms=20))
+        barrier = threading.Barrier(4)
+        with serve_in_thread(_oracle("paper/mnist-softmax"), config) as handle:
+
+            def client_run(index):
+                with NetClient(handle.address, tenant=f"t{index % 2}") as client:
+                    barrier.wait()
+                    for _ in range(4):
+                        client.query(np.ones((1, N_FEATURES)) * 0.2)
+
+            threads = [
+                threading.Thread(target=client_run, args=(i,)) for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = handle.stats()
+        for tenant in ("t0", "t1"):
+            counters = stats[tenant]
+            assert counters["n_requests"] == 8
+            assert counters["rows_served"] == 8
+            assert counters["n_ticks"] <= counters["n_requests"]
+            assert counters["coalescing_factor"] >= 1.0
+
+
+class TestBackpressureAndDrain:
+    def test_per_connection_inflight_bound_pauses_reading(self):
+        config = _config(max_inflight_per_connection=2, scheduler_window=1)
+        with serve_in_thread(_oracle("paper/mnist-softmax"), config) as handle:
+            handle.pause_scheduling()
+            sock = socket.create_connection(handle.address, timeout=30)
+            try:
+                for i in range(5):
+                    send_frame_sync(
+                        sock,
+                        {"type": "query", "tenant": "pusher", "key": f"k{i}"},
+                        {"inputs": np.ones((1, N_FEATURES))},
+                    )
+
+                def admitted():
+                    async def count():
+                        return sum(
+                            len(state.queue)
+                            for state in handle.server._tenants.values()
+                        )
+
+                    return handle._call(count())
+
+                deadline = time.time() + 5
+                while admitted() < 2 and time.time() < deadline:
+                    time.sleep(0.02)
+                time.sleep(0.2)  # excess frames must stay unread
+                assert admitted() == 2
+                handle.resume_scheduling()
+                for _ in range(5):  # nothing was dropped: all five complete
+                    header, _ = read_frame_sync(sock)
+                    assert header["status"] == "ok"
+            finally:
+                sock.close()
+
+    def test_graceful_drain_fails_queued_requests_typed(self):
+        """Acceptance: a stopping server answers queued requests with a typed
+        retryable error — it never hangs them or silently drops them."""
+        config = _config(scheduler_window=1)
+        handle = serve_in_thread(_oracle("paper/mnist-softmax"), config)
+        handle.pause_scheduling()  # requests will sit in the tenant queue
+        sock = socket.create_connection(handle.address, timeout=30)
+        try:
+            send_frame_sync(
+                sock,
+                {"type": "query", "tenant": "stuck", "key": "drain-1"},
+                {"inputs": np.ones((1, N_FEATURES))},
+            )
+            time.sleep(0.2)  # admitted, queued, undispatched
+            handle.close()  # graceful drain
+            header, _ = read_frame_sync(sock)
+            assert header["status"] == "error"
+            assert header["code"] == "service-closed"
+        finally:
+            sock.close()
+
+    def test_drained_client_raises_retryable_unavailable(self):
+        config = _config(scheduler_window=1, max_retries=0)
+        handle = serve_in_thread(_oracle("paper/mnist-softmax"), config)
+        handle.pause_scheduling()
+        client = NetClient(handle.address, tenant="stuck", config=config)
+        client.ping()  # establish the connection up front
+        try:
+            result = {}
+
+            def submit():
+                try:
+                    client.query(np.ones((1, N_FEATURES)))
+                except Exception as exc:  # noqa: BLE001 - recorded for assert
+                    result["error"] = exc
+
+            thread = threading.Thread(target=submit)
+            thread.start()
+            time.sleep(0.3)
+            handle.close()
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+            assert isinstance(result.get("error"), ServiceUnavailableError)
+            assert result["error"].retryable
+        finally:
+            client.close()
+
+    def test_unknown_request_type_reports_protocol_error(self):
+        with serve_in_thread(_oracle("paper/mnist-softmax"), _config()) as handle:
+            sock = socket.create_connection(handle.address, timeout=30)
+            try:
+                send_frame_sync(sock, {"type": "frobnicate"})
+                header, _ = read_frame_sync(sock)
+                assert header["status"] == "error"
+                assert header["code"] == "protocol"
+                # the connection survives a bad *request* (vs a bad frame)
+                send_frame_sync(sock, {"type": "ping"})
+                header, _ = read_frame_sync(sock)
+                assert header["status"] == "ok"
+            finally:
+                sock.close()
+
+
+class TestNetServiceConfig:
+    def test_round_trip_and_strictness(self):
+        config = NetServiceConfig(
+            port=7707,
+            service=ServiceConfig(max_batch=8, base_seed=5),
+            tenants=(TenantConfig("a", weight=2.0, query_budget=100),),
+            scheduler_window=4,
+            max_retries=2,
+        )
+        assert NetServiceConfig.from_dict(config.to_dict()) == config
+        with pytest.raises(ValueError, match="unknown NetServiceConfig fields"):
+            NetServiceConfig.from_dict({"max_inflght": 3})
+        with pytest.raises(ValueError, match="unknown TenantConfig fields"):
+            TenantConfig.from_dict({"name": "a", "wieght": 2.0})
+        # nested strictness propagates
+        payload = config.to_dict()
+        payload["service"]["max_btch"] = 1
+        with pytest.raises(ValueError, match="unknown ServiceConfig fields"):
+            NetServiceConfig.from_dict(payload)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetServiceConfig(port=70000)
+        with pytest.raises(ValueError):
+            NetServiceConfig(tenants=(TenantConfig("a"), TenantConfig("a")))
+        with pytest.raises(ValueError):
+            TenantConfig("a", weight=0.0)
+        with pytest.raises(ValueError):
+            TenantConfig("", weight=1.0)
+        with pytest.raises(ValueError):
+            TenantConfig("a", query_budget=0)
+
+    def test_tenant_policy_fallback(self):
+        config = NetServiceConfig(
+            tenants=(TenantConfig("vip", weight=4.0),),
+            default_weight=0.5,
+            default_query_budget=10,
+        )
+        assert config.tenant_policy("vip").weight == 4.0
+        anon = config.tenant_policy("anon")
+        assert anon.weight == 0.5
+        assert anon.query_budget == 10
+
+    def test_presets(self):
+        preset = get_netservice_preset("net-two-tenant")
+        assert {tenant.name for tenant in preset.tenants} == {"alice", "bob"}
+        assert preset.tenant_policy("bob").weight == 3.0
+        budgeted = get_netservice_preset("net-budgeted")
+        assert budgeted.tenant_policy("attacker").query_budget == 512
+        with pytest.raises(KeyError, match="unknown netservice preset"):
+            get_netservice_preset("net-nope")
+
+    def test_handshake_metadata(self):
+        with serve_in_thread(_oracle("paper/mnist-softmax"), _config()) as handle:
+            with NetClient(handle.address) as client:
+                assert client.kind == "oracle"
+                assert client.output_mode == "raw"
+                assert client.n_outputs == N_CLASSES
+                assert client.base_seed == 0
+                assert client.ping()
+
+
+class TestNetServiceRegressionGate:
+    """CI-facing behaviour of the bench_netservice gate in check_bench_regression."""
+
+    @staticmethod
+    def _load_script():
+        import importlib.util
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parent.parent
+        spec = importlib.util.spec_from_file_location(
+            "check_bench_regression_for_netservice_tests",
+            repo_root / "scripts" / "check_bench_regression.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    @staticmethod
+    def _passing_results():
+        return {
+            "engine": {
+                "oracle_query": [{"batch_size": 16, "speedup": 2.5}],
+                "array_ops_per_power_query_batch": 1,
+            },
+            "bench_netservice": {
+                "responses_identical": True,
+                "one_per_connection_s": 0.5,
+                "offered_load": [
+                    {"workers": 1, "speedup_vs_one_per_connection": 1.1},
+                    {"workers": 8, "speedup_vs_one_per_connection": 1.5},
+                    {"workers": 16, "speedup_vs_one_per_connection": 1.7},
+                ],
+            },
+        }
+
+    def test_passing_payload(self):
+        check = self._load_script()
+        assert check.check_results(self._passing_results()) == []
+
+    def test_slow_offered_load_fails(self):
+        check = self._load_script()
+        results = self._passing_results()
+        for row in results["bench_netservice"]["offered_load"]:
+            row["speedup_vs_one_per_connection"] = 1.1
+        failures = check.check_results(results)
+        assert any("one-request-per-connection" in failure for failure in failures)
+
+    def test_non_identical_responses_fail(self):
+        check = self._load_script()
+        results = self._passing_results()
+        results["bench_netservice"]["responses_identical"] = False
+        failures = check.check_results(results)
+        assert any("bit-identical" in failure for failure in failures)
+
+    def test_low_worker_counts_only_fail(self):
+        check = self._load_script()
+        results = self._passing_results()
+        results["bench_netservice"]["offered_load"] = [
+            {"workers": 1, "speedup_vs_one_per_connection": 1.1}
+        ]
+        failures = check.check_results(results)
+        assert any(">= 8 workers" in failure for failure in failures)
+
+    def test_missing_baseline_fails(self):
+        check = self._load_script()
+        results = self._passing_results()
+        del results["bench_netservice"]["one_per_connection_s"]
+        failures = check.check_results(results)
+        assert any("one_per_connection_s" in failure for failure in failures)
+
+    def test_cli_override_tightens_the_floor(self):
+        check = self._load_script()
+        results = self._passing_results()
+        assert check.check_results(results) == []
+        failures = check.check_results(results, min_net_speedup=5.0)
+        assert any("5.00x" in failure for failure in failures)
+
+    def test_tolerance_relaxes_the_floor(self):
+        check = self._load_script()
+        results = self._passing_results()
+        for row in results["bench_netservice"]["offered_load"]:
+            row["speedup_vs_one_per_connection"] = 1.2
+        assert check.check_results(results)  # fails at the strict 1.3 floor
+        assert check.check_results(results, tolerance=0.15) == []
+
+    def test_absent_section_is_not_checked(self):
+        check = self._load_script()
+        results = self._passing_results()
+        del results["bench_netservice"]
+        assert check.check_results(results) == []

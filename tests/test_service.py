@@ -10,6 +10,7 @@ query accounting, and the synchronous facades.
 import asyncio
 import concurrent.futures
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -22,8 +23,10 @@ from repro.service import (
     BatchingMeasurement,
     BatchingOracle,
     QueryService,
+    ServiceClosedError,
     ServiceConfig,
 )
+from repro.service.coalescer import OracleBackend
 from repro.sidechannel.measurement import PowerMeasurement, QueryBudgetExceeded
 from repro.sidechannel.probing import ColumnNormProber
 
@@ -52,6 +55,21 @@ def _oracle(name):
 def _requests(sizes=(1, 3, 1, 2, 5, 1, 4)):
     rng = np.random.default_rng(13)
     return [rng.uniform(0.0, 1.0, size=(n, N_FEATURES)) for n in sizes]
+
+
+class _InstrumentedBackend(OracleBackend):
+    """An oracle backend that counts (and optionally slows) traversals."""
+
+    def __init__(self, oracle, delay=0.0):
+        super().__init__(oracle)
+        self.delay = delay
+        self.calls = 0
+
+    def run(self, inputs, seeds):
+        self.calls += 1
+        if self.delay:
+            time.sleep(self.delay)
+        return super().run(inputs, seeds)
 
 
 def _submit_all(service_target, config, requests):
@@ -205,6 +223,77 @@ class TestServiceMechanics:
         with pytest.raises(ValueError):
             ServiceConfig(max_pending=0)
 
+    def test_from_dict_rejects_unknown_keys(self):
+        """A typo'd preset field must fail loudly, not be silently dropped."""
+        with pytest.raises(ValueError, match="unknown ServiceConfig fields"):
+            ServiceConfig.from_dict({"max_batch": 8, "max_wat_ms": 1.0})
+        # missing keys still keep their defaults (older payloads load)
+        assert ServiceConfig.from_dict({"max_batch": 8}).max_pending == 256
+
+    def test_max_pending_one_with_slow_target_awaits_not_drops(self):
+        """Backpressure at the tightest bound: every submit completes."""
+        backend = _InstrumentedBackend(_oracle("paper/mnist-softmax"), delay=0.005)
+
+        async def run():
+            config = ServiceConfig(max_batch=1, max_wait_ms=0, max_pending=1)
+            async with QueryService(backend, config) as service:
+                return await asyncio.gather(
+                    *(service.submit(np.ones((1, N_FEATURES))) for _ in range(6))
+                )
+
+        responses = asyncio.run(run())
+        assert len(responses) == 6
+        assert all(len(response.outputs) == 1 for response in responses)
+        assert backend.calls == 6  # max_batch=1: one traversal per request
+
+    def test_stop_during_held_open_tick_dispatches_exactly_once(self):
+        """stop() with a tick held open for company neither strands the
+        coalesced requests nor dispatches them twice."""
+        backend = _InstrumentedBackend(_oracle("paper/mnist-softmax"))
+
+        from repro.service.coalescer import _Pending
+
+        async def run():
+            loop = asyncio.get_running_loop()
+            service = QueryService(
+                backend, ServiceConfig(max_batch=100, max_wait_ms=10_000)
+            )
+            await service.start()  # worker is scheduled but has not run yet
+            futures = []
+            for request_id, rows in enumerate((2, 1)):
+                inputs = np.ones((rows, N_FEATURES)) * 0.5
+                future = loop.create_future()
+                service._queue.put_nowait(
+                    _Pending(inputs, service.seeds_for(request_id, rows), future)
+                )
+                futures.append(future)
+            # Simulate trickling cross-thread arrivals: while the queue
+            # reports non-empty the worker holds its tick open for company
+            # instead of taking the fully-coalesced early dispatch.
+            queue = service._queue
+            backing = queue._queue  # the underlying deque
+            real_get_nowait = type(queue).get_nowait
+            queue.empty = lambda: False
+
+            def fake_get_nowait():
+                if not backing:
+                    raise asyncio.QueueEmpty
+                return real_get_nowait(queue)
+
+            queue.get_nowait = fake_get_nowait
+            for _ in range(20):
+                await asyncio.sleep(0)
+            assert not any(future.done() for future in futures)  # held open
+            del queue.empty  # restore the real probes for stop()
+            del queue.get_nowait
+            await service.stop()  # cancels the worker mid-tick
+            return await asyncio.gather(*futures)
+
+        first, second = asyncio.run(run())
+        assert len(first.outputs) == 2
+        assert len(second.outputs) == 1
+        assert backend.calls == 1  # one fused traversal, not one per request
+
 
 class TestBatchingOracleFacade:
     """The sync drop-in front-end existing attacks can use unchanged."""
@@ -264,6 +353,30 @@ class TestBatchingOracleFacade:
         facade.query(np.ones((1, N_FEATURES)))
         facade.close()
         facade.close()
+
+    def test_submit_after_close_raises_typed_error(self):
+        facade = BatchingOracle(_oracle("paper/mnist-softmax"))
+        assert not facade.closed
+        facade.query(np.ones((1, N_FEATURES)))
+        facade.close()
+        assert facade.closed
+        with pytest.raises(ServiceClosedError, match="has been closed"):
+            facade.query(np.ones((1, N_FEATURES)))
+
+    def test_measurement_submit_after_close_raises_typed_error(self):
+        measurement = PowerMeasurement(_target("paper/mnist-softmax"))
+        facade = BatchingMeasurement(measurement)
+        facade.measure(np.ones(N_FEATURES))
+        facade.close()
+        with pytest.raises(ServiceClosedError):
+            facade.measure(np.ones(N_FEATURES))
+
+    def test_concurrent_close_from_many_threads(self):
+        facade = BatchingOracle(_oracle("paper/mnist-softmax"))
+        facade.query(np.ones((1, N_FEATURES)))
+        with concurrent.futures.ThreadPoolExecutor(4) as pool:
+            list(pool.map(lambda _: facade.close(), range(8)))
+        assert facade.closed
 
 
 class TestServiceRegressionGate:
