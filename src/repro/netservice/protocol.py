@@ -23,6 +23,7 @@ oversized frame raises :class:`~repro.netservice.errors.ProtocolError`.
 from __future__ import annotations
 
 import json
+import math
 import socket
 import struct
 from typing import Any, Dict, Mapping, Optional, Tuple
@@ -111,7 +112,10 @@ def _payload_length(descriptors, max_frame_bytes: int) -> Tuple[list, int]:
             raise ProtocolError(f"array {name!r} has non-wire dtype {dtype!r}")
         if any(n < 0 for n in shape):
             raise ProtocolError(f"array {name!r} has negative shape {shape}")
-        nbytes = int(np.dtype(dtype).itemsize * int(np.prod(shape, dtype=np.int64)))
+        # Python-int arithmetic: an adversarial shape like [2**32, 2**32]
+        # must hit this bound, not wrap to a tiny nbytes and blow up later
+        # in reshape (outside the ProtocolError handling).
+        nbytes = np.dtype(dtype).itemsize * math.prod(shape)
         total += nbytes
         if total > max_frame_bytes:
             raise ProtocolError(

@@ -54,7 +54,11 @@ from repro.netservice.errors import (
     ServiceClosedError,
     ServiceUnavailableError,
 )
-from repro.netservice.protocol import PROTOCOL_VERSION, read_frame, write_frame
+from repro.netservice.protocol import (
+    PROTOCOL_VERSION,
+    encode_frame,
+    read_frame,
+)
 from repro.service.coalescer import QueryService
 
 #: Tenant name used when a request frame does not carry one.
@@ -281,9 +285,12 @@ class NetworkQueryService:
         # the transports close.
         if self._serve_tasks:
             await asyncio.gather(*self._serve_tasks, return_exceptions=True)
-        await self._server.wait_closed()
+        # Transports close *before* wait_closed(): on 3.12+ wait_closed()
+        # blocks until every connection handler returns, and the handlers
+        # are blocked in read_frame() until their transport dies.
         for conn in list(self._connections):
             conn.writer.close()
+        await self._server.wait_closed()
         self._started = False
         self._stopped_event.set()
 
@@ -336,17 +343,25 @@ class NetworkQueryService:
         while True:
             await self._work.wait()
             await self._sched_gate.wait()
+            if self._next_tenant() is None:
+                self._work.clear()
+                continue
+            # Window bound: limits how far dispatch runs ahead of completion
+            # (window=1 degenerates to strict weighted-fair order).  Acquired
+            # *before* any request is popped: if stop() cancels the scheduler
+            # while it blocks here, every request is still in its tenant
+            # queue and gets the typed drain error — nothing is stranded.
+            await self._window.acquire()
             state = self._next_tenant()
-            if state is None:
+            if state is None:  # drained while waiting on the window
+                self._window.release()
                 self._work.clear()
                 continue
             request = state.queue.popleft()
             if request.future.done():  # already failed/abandoned
                 state.inflight.pop(request.key, None)
+                self._window.release()
                 continue
-            # Window bound: limits how far dispatch runs ahead of completion
-            # (window=1 degenerates to strict weighted-fair order).
-            await self._window.acquire()
             self._vclock = max(self._vclock, state.vtime)
             state.vtime += request.rows / state.policy.weight
             self.dispatch_log.append((state.policy.name, request.rows))
@@ -495,9 +510,20 @@ class NetworkQueryService:
     # ---------------------------------------------------------- connections
 
     async def _send(self, conn: _Connection, header: dict, arrays) -> None:
+        try:
+            frame = encode_frame(header, arrays)
+        except Exception as exc:
+            # A response we cannot serialise (non-wire dtype, JSON-hostile
+            # metadata): the client must still get *an* answer, or it burns
+            # its whole retry budget re-hitting the same cached response.
+            fallback = self._error_header(exc)
+            fallback["code"] = "remote-error"
+            if "cid" in header:
+                fallback["cid"] = header["cid"]
+            frame = encode_frame(fallback, None)
         async with conn.write_lock:
             try:
-                write_frame(conn.writer, header, arrays)
+                conn.writer.write(frame)
                 await conn.writer.drain()
             except (ConnectionError, OSError):
                 pass  # the client vanished; its retry will re-ask

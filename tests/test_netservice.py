@@ -14,6 +14,7 @@ The acceptance properties:
   error, never a hang.
 """
 
+import json
 import socket
 import threading
 import time
@@ -36,6 +37,8 @@ from repro.netservice import (
 )
 from repro.netservice.protocol import (
     MAGIC,
+    PROTOCOL_VERSION,
+    _PREAMBLE,
     encode_frame,
     read_frame_sync,
     send_frame_sync,
@@ -149,6 +152,27 @@ class TestProtocol:
     def test_non_wire_dtype_rejected_at_encode(self):
         with pytest.raises(ProtocolError, match="dtype"):
             encode_frame({"type": "x"}, {"bad": np.zeros(3, dtype=np.complex128)})
+
+    def test_overflowing_shape_rejected_as_protocol_error(self):
+        # An adversarial descriptor whose element count would wrap an int64
+        # product to ~0 must still hit the size bound as a ProtocolError —
+        # not sail through to a ValueError in reshape.
+        header = {
+            "type": "query",
+            "arrays": [
+                {"name": "inputs", "dtype": "float64", "shape": [2**32, 2**32]}
+            ],
+        }
+        header_bytes = json.dumps(header).encode("utf-8")
+        frame = _PREAMBLE.pack(MAGIC, PROTOCOL_VERSION, len(header_bytes))
+        left, right = socket.socketpair()
+        try:
+            left.sendall(frame + header_bytes)
+            with pytest.raises(ProtocolError, match="max_frame_bytes"):
+                read_frame_sync(right)
+        finally:
+            left.close()
+            right.close()
 
 
 class TestWireBitIdentity:
@@ -286,6 +310,35 @@ class TestFaultTolerance:
                 assert client.n_retries == 0
                 stats = client.stats()
         assert stats["tenants"]["bad"]["rows_charged"] == 0
+
+    def test_unserialisable_response_reports_remote_error(self):
+        """A response the server cannot serialise must still answer the
+        client with a typed error frame, not die as an unhandled task."""
+        from repro.service.coalescer import OracleBackend
+
+        class _PoisonedBackend(OracleBackend):
+            def run(self, inputs, seeds):
+                response = super().run(inputs, seeds)
+                # passes _json_safe_metadata's shallow list check, but is
+                # not JSON-encodable — encode_frame raises at send time
+                response.metadata["poison"] = [object()]
+                return response
+
+        backend = _PoisonedBackend(_oracle("paper/mnist-softmax"))
+        with serve_in_thread(backend, _config()) as handle:
+            sock = socket.create_connection(handle.address, timeout=30)
+            try:
+                send_frame_sync(
+                    sock,
+                    {"type": "query", "tenant": "t", "key": "poison-1", "cid": 7},
+                    {"inputs": np.ones((1, N_FEATURES))},
+                )
+                header, _ = read_frame_sync(sock)
+                assert header["status"] == "error"
+                assert header["code"] == "remote-error"
+                assert header["cid"] == 7
+            finally:
+                sock.close()
 
 
 class TestTenancy:
@@ -475,6 +528,54 @@ class TestBackpressureAndDrain:
             assert result["error"].retryable
         finally:
             client.close()
+
+    def test_stop_completes_with_idle_connected_client(self):
+        """stop() must not hang on a connected-but-idle client: on 3.12+
+        Server.wait_closed() waits for connection handlers, which only
+        unblock once their transports are closed."""
+        handle = serve_in_thread(_oracle("paper/mnist-softmax"), _config())
+        sock = socket.create_connection(handle.address, timeout=30)
+        try:
+            send_frame_sync(sock, {"type": "ping"})
+            header, _ = read_frame_sync(sock)
+            assert header["status"] == "ok"
+            closer = threading.Thread(target=handle.close)
+            closer.start()
+            closer.join(timeout=10)
+            assert not closer.is_alive(), "stop() hung on an idle client"
+        finally:
+            sock.close()
+
+    def test_stop_while_scheduler_blocked_on_window_drains_queued(self):
+        """stop() while the scheduler is blocked acquiring the dispatch
+        window must still fail the queued request with the typed drain
+        error — cancellation there must not strand a popped request."""
+        config = _config(scheduler_window=1)
+        handle = serve_in_thread(_oracle("paper/mnist-softmax"), config)
+        sock = socket.create_connection(handle.address, timeout=30)
+        try:
+            # Hold the (size-1) window so the scheduler blocks in acquire().
+            async def hold_window():
+                await handle.server._window.acquire()
+
+            handle._call(hold_window())
+            send_frame_sync(
+                sock,
+                {"type": "query", "tenant": "stuck", "key": "window-1"},
+                {"inputs": np.ones((1, N_FEATURES))},
+            )
+            time.sleep(0.3)  # admitted; scheduler now parked on the window
+            closer = threading.Thread(target=handle.close)
+            closer.start()
+            closer.join(timeout=10)
+            assert not closer.is_alive(), (
+                "stop() hung: request stranded by scheduler cancellation"
+            )
+            header, _ = read_frame_sync(sock)
+            assert header["status"] == "error"
+            assert header["code"] == "service-closed"
+        finally:
+            sock.close()
 
     def test_unknown_request_type_reports_protocol_error(self):
         with serve_in_thread(_oracle("paper/mnist-softmax"), _config()) as handle:
