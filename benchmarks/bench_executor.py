@@ -1,0 +1,89 @@
+"""Benchmark the distributed work-queue executor: serial vs queue identity.
+
+Runs the ``sweep-adc-bits`` experiment at ``smoke`` scale once on the
+:class:`~repro.executor.SerialExecutor` reference and once on a
+:class:`~repro.executor.QueueExecutor` with two local worker subprocesses,
+asserts the results are bit-identical, and records wall times + coordinator
+stats into ``BENCH_engine.json`` under ``bench_executor`` so
+``scripts/check_bench_regression.py`` can gate on them across PRs
+(``--min-executor-speedup``, default 0.15 — a single-core floor: the queue
+pays worker interpreter spawn and framing overhead, which dominates a
+smoke-scale grid, so on one core it trails serial; multicore hosts with
+larger grids measure above 1).
+"""
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import bench_engine
+
+from repro.executor import QueueExecutor
+from repro.experiments import get_experiment
+
+EXPERIMENT_NAME = "sweep-adc-bits"
+N_WORKERS = 2
+CHUNK_SIZE = 2
+
+
+def _run(executor=None):
+    return get_experiment(EXPERIMENT_NAME).run(
+        "smoke", executor=executor, base_seed=0
+    )
+
+
+def _results_identical(a, b) -> bool:
+    """Strict bit-identity over metrics and arrays of every per-job result."""
+    if len(a.sweep) != len(b.sweep):
+        return False
+    for run_a, run_b in zip(a.sweep, b.sweep):
+        if run_a.name != run_b.name or run_a.metrics != run_b.metrics:
+            return False
+        if set(run_a.arrays) != set(run_b.arrays):
+            return False
+        for key in run_a.arrays:
+            if not np.array_equal(run_a.arrays[key], run_b.arrays[key]):
+                return False
+    return True
+
+
+def test_queue_executor_identity_and_overhead(single_round, benchmark):
+    """Smoke-scale grid: queue with 2 workers bit-identical to serial."""
+    start = time.perf_counter()
+    serial = single_round(_run)
+    serial_s = time.perf_counter() - start
+
+    executor = QueueExecutor(
+        n_workers=N_WORKERS, chunk_size=CHUNK_SIZE, spawn_timeout_s=600.0
+    )
+    start = time.perf_counter()
+    queued = _run(executor)
+    queue_s = time.perf_counter() - start
+
+    identical = _results_identical(serial, queued)
+    stats = executor.stats
+    bench_engine.record_timings(
+        "bench_executor",
+        {
+            "experiment": EXPERIMENT_NAME,
+            "n_jobs": len(serial.sweep),
+            "n_workers": N_WORKERS,
+            "chunk_size": CHUNK_SIZE,
+            "serial_s": serial_s,
+            "queue_s": queue_s,
+            "speedup": serial_s / queue_s if queue_s > 0 else 0.0,
+            "results_identical": identical,
+            "stats": stats,
+        },
+    )
+    benchmark.extra_info["n_jobs"] = len(serial.sweep)
+    benchmark.extra_info["serial_s"] = round(serial_s, 2)
+    benchmark.extra_info["queue_s"] = round(queue_s, 2)
+    benchmark.extra_info["chunks_executed"] = stats.get("chunks_executed")
+
+    assert identical, "queue-executor results diverged from the serial path"
+    assert stats.get("chunks_executed") == stats.get("chunks_total")
+    assert stats.get("workers_spawned") == N_WORKERS

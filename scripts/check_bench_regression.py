@@ -14,6 +14,7 @@ non-zero when any gate fails::
                                              [--min-service-speedup 2.0]
                                              [--min-net-speedup 1.3]
                                              [--min-backend-ratio 0.95]
+                                             [--min-executor-speedup 0.15]
 
 ``--tolerance`` applies a uniform fractional slack to every threshold
 (speedup floors become ``floor * (1 - t)``, ratio ceilings become
@@ -59,6 +60,12 @@ Gated sections:
   and the best offered-load level at >= 8 worker processes must beat the
   one-request-per-connection baseline by ``--min-net-speedup`` (default
   1.3x — a single-core floor; multicore hosts measure far higher).
+* ``bench_executor`` — the distributed work-queue executor: queue results
+  must have been verified bit-identical to the serial reference, every chunk
+  must have executed, and serial/queue wall-time ratio must stay above
+  ``--min-executor-speedup`` (default 0.15 — a single-core overhead floor;
+  the queue pays worker interpreter spawn + framing on a smoke-scale grid,
+  so one core cannot beat serial; the gate only catches runaway overhead).
 
 Sections other than ``engine`` are only checked when present, so a partial
 benchmark run stays usable; ``engine`` is always required.
@@ -82,6 +89,7 @@ DEFAULT_THRESHOLDS = {
     "min_service_speedup": 2.0,
     "min_net_speedup": 1.3,
     "min_backend_ratio": 0.95,
+    "min_executor_speedup": 0.15,
 }
 
 
@@ -127,6 +135,7 @@ def check_results(
     min_service_speedup = thresholds["min_service_speedup"]
     min_net_speedup = thresholds["min_net_speedup"]
     min_backend_ratio = thresholds["min_backend_ratio"]
+    min_executor_speedup = thresholds["min_executor_speedup"]
 
     failures: list[str] = []
     failures.extend(_check_probing_section(results, min_probing_speedup))
@@ -136,6 +145,7 @@ def check_results(
     failures.extend(_check_sweeps_section(results))
     failures.extend(_check_service_section(results, min_service_speedup))
     failures.extend(_check_netservice_section(results, min_net_speedup))
+    failures.extend(_check_executor_section(results, min_executor_speedup))
     engine = results.get("engine")
     if engine is None:
         return failures + [
@@ -408,6 +418,41 @@ def _check_netservice_section(results: dict, min_net_speedup: float) -> list[str
     return failures
 
 
+def _check_executor_section(results: dict, min_executor_speedup: float) -> list[str]:
+    """Gate the work-queue timings recorded by benchmarks/bench_executor.py."""
+    payload = results.get("bench_executor")
+    if payload is None:
+        return []
+    failures: list[str] = []
+    if payload.get("results_identical") is not True:
+        failures.append(
+            "bench_executor: queue-executor results were not verified "
+            "bit-identical to the serial reference"
+        )
+    for key in ("serial_s", "queue_s"):
+        value = payload.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            failures.append(f"bench_executor has no positive {key!r} wall time")
+    stats = payload.get("stats") or {}
+    if stats.get("chunks_executed") != stats.get("chunks_total"):
+        failures.append(
+            "bench_executor: not every chunk executed "
+            f"({stats.get('chunks_executed')!r} of {stats.get('chunks_total')!r})"
+        )
+    workers = payload.get("n_workers")
+    if not isinstance(workers, int) or workers < 2:
+        failures.append(
+            f"bench_executor was not recorded with >= 2 workers (got {workers!r})"
+        )
+    speedup = payload.get("speedup")
+    if isinstance(speedup, (int, float)) and speedup < min_executor_speedup:
+        failures.append(
+            f"queue executor serial/queue ratio {speedup:.2f} is below the "
+            f"required {min_executor_speedup:.2f} (excess coordination overhead)"
+        )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--path", type=Path, default=DEFAULT_PATH)
@@ -457,6 +502,11 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=DEFAULT_THRESHOLDS["min_backend_ratio"],
     )
+    parser.add_argument(
+        "--min-executor-speedup",
+        type=float,
+        default=DEFAULT_THRESHOLDS["min_executor_speedup"],
+    )
     args = parser.parse_args(argv)
     if args.tolerance < 0:
         parser.error("--tolerance must be >= 0")
@@ -469,6 +519,7 @@ def main(argv: list[str] | None = None) -> int:
         "min_service_speedup": args.min_service_speedup,
         "min_net_speedup": args.min_net_speedup,
         "min_backend_ratio": args.min_backend_ratio,
+        "min_executor_speedup": args.min_executor_speedup,
     }
 
     if not args.path.exists():

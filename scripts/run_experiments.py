@@ -4,7 +4,7 @@
 Equivalent to ``python -m repro.experiments``; see that module for options::
 
     python scripts/run_experiments.py --list
-    python scripts/run_experiments.py table1 figure4 --scale smoke --mode process
+    python scripts/run_experiments.py table1 figure4 --scale smoke --executor process
 """
 
 import sys

@@ -1,0 +1,7 @@
+"""``python -m repro.executor`` — worker process entry point."""
+
+import sys
+
+from repro.executor.cli import main
+
+sys.exit(main())

@@ -1,0 +1,86 @@
+"""Command-line entry points of the executor subsystem.
+
+``python -m repro.executor worker --connect HOST:PORT`` attaches a worker
+process to a running :class:`~repro.executor.queue.QueueExecutor`
+coordinator — this is both how the coordinator spawns its local workers and
+how an operator adds remote machines to a run.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Tuple
+
+
+def parse_address(value: str) -> Tuple[str, int]:
+    """Parse ``HOST:PORT`` (host may be empty, meaning all interfaces)."""
+    host, sep, port = value.rpartition(":")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {value!r}"
+        )
+    try:
+        return (host or "0.0.0.0", int(port))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid port in {value!r}") from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.executor",
+        description="Work-queue executor processes (see repro.executor docs).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    worker = sub.add_parser(
+        "worker", help="attach a worker to a running coordinator"
+    )
+    worker.add_argument(
+        "--connect",
+        type=parse_address,
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address to lease chunks from",
+    )
+    worker.add_argument(
+        "--id", default=None, help="worker id shown in coordinator stats/logs"
+    )
+    worker.add_argument(
+        "--heartbeat",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="heartbeat interval while executing a lease (default 0.5)",
+    )
+    worker.add_argument(
+        "--max-connect-attempts",
+        type=int,
+        default=8,
+        help="reconnect attempts (jittered exponential backoff) before giving up",
+    )
+    worker.add_argument(
+        "--fail-after-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="TESTING ONLY: die hard (os._exit) after N jobs total, "
+        "mid-chunk when N is unaligned — exercises lease re-queue",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "worker":
+        from repro.executor.worker import run_worker
+
+        host, port = args.connect
+        return run_worker(
+            host,
+            port,
+            worker_id=args.id,
+            heartbeat_s=args.heartbeat,
+            max_connect_attempts=args.max_connect_attempts,
+            fail_after_jobs=args.fail_after_jobs,
+        )
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,44 @@
+"""Error taxonomy of the executor subsystem.
+
+Mirrors the :mod:`repro.netservice.errors` split the worker protocol is
+modelled on: *retryable* transport failures (connection loss, malformed
+frames from a dying peer) versus *terminal* conditions (cancellation, a
+journal that does not belong to the submitted job grid).
+"""
+
+from __future__ import annotations
+
+
+class ExecutorError(Exception):
+    """Base class for every executor-layer failure."""
+
+
+class ExecutionCancelled(ExecutorError):
+    """The submitted grid was cancelled before completion."""
+
+
+class QueueProtocolError(ExecutorError):
+    """A malformed or oversized frame on the work-queue wire."""
+
+
+class WorkerConnectionLost(ExecutorError):
+    """The coordinator/worker connection died mid-conversation (retryable)."""
+
+
+class JournalMismatchError(ExecutorError):
+    """A resume journal does not describe the submitted job grid.
+
+    Raised instead of silently re-running (or worse, splicing foreign chunk
+    results into the grid): the journal header records a fingerprint of the
+    full job list and the chunk geometry, and resuming requires an exact
+    match.
+    """
+
+
+class JobFailedError(ExecutorError):
+    """A job raised on a worker; the failure is terminal, not retryable.
+
+    Re-leasing a deterministic seeded job cannot help — the same inputs
+    produce the same exception — so the coordinator surfaces the remote
+    traceback to the caller instead of burning lease retries on it.
+    """

@@ -1,0 +1,219 @@
+"""Resumable JSONL progress journal for the work-queue executor.
+
+One journal file describes one run of one job grid:
+
+* line 1 — a ``run`` header: schema version, the grid fingerprint from
+  :func:`~repro.executor.chunking.grid_fingerprint`, the chunk geometry and
+  every chunk key in order;
+* then one ``chunk`` record per *completed* chunk (any order), carrying the
+  chunk key and its results in wire form.
+
+Appending one line per completed chunk makes the journal crash-tolerant: a
+coordinator killed mid-write leaves at most one truncated trailing line,
+which :func:`read_journal` tolerates (the chunk simply re-runs on resume).
+``QueueExecutor(resume=path)`` replays completed chunks from the journal —
+**bit-identically**, because the wire form below preserves array dtype,
+shape and raw bytes, and pickles result metadata rather than lossily
+round-tripping it through JSON.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.executor.errors import JournalMismatchError
+from repro.utils.results import RunResult
+
+#: Journal schema version (bump on incompatible record changes).
+JOURNAL_VERSION = 1
+
+
+# -------------------------------------------------------------- wire form
+
+
+def result_to_wire(result: RunResult) -> Dict[str, Any]:
+    """Encode one :class:`RunResult` for a journal/wire record, losslessly.
+
+    Arrays keep dtype + shape + raw ``tobytes`` payload (base64); metadata
+    is pickled (base64) because it legitimately holds tuples and numpy
+    scalars that a plain JSON round-trip would mangle, breaking the
+    bit-identity contract between resumed and fresh runs.
+    """
+    arrays = {}
+    for name, array in result.arrays.items():
+        array = np.ascontiguousarray(array)
+        arrays[name] = {
+            "dtype": str(array.dtype),
+            "shape": list(array.shape),
+            "data": base64.b64encode(array.tobytes()).decode("ascii"),
+        }
+    return {
+        "name": result.name,
+        "metrics": {key: float(value) for key, value in result.metrics.items()},
+        "arrays": arrays,
+        "metadata": base64.b64encode(
+            pickle.dumps(result.metadata, protocol=pickle.HIGHEST_PROTOCOL)
+        ).decode("ascii"),
+    }
+
+
+def result_from_wire(payload: Dict[str, Any]) -> RunResult:
+    """Inverse of :func:`result_to_wire`."""
+    result = RunResult(name=str(payload["name"]))
+    result.metrics = {k: float(v) for k, v in payload.get("metrics", {}).items()}
+    for name, spec in payload.get("arrays", {}).items():
+        raw = base64.b64decode(spec["data"])
+        result.arrays[name] = (
+            np.frombuffer(raw, dtype=spec["dtype"])
+            .reshape(tuple(spec["shape"]))
+            .copy()
+        )
+    result.metadata = pickle.loads(base64.b64decode(payload["metadata"]))
+    return result
+
+
+# ---------------------------------------------------------------- writing
+
+
+class JournalWriter:
+    """Append-only JSONL journal (header on open, one line per chunk)."""
+
+    def __init__(
+        self,
+        path,
+        *,
+        fingerprint: str,
+        total_jobs: int,
+        chunk_size: int,
+        chunk_keys: List[str],
+    ) -> None:
+        self.path = Path(path)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._write(
+            {
+                "event": "run",
+                "version": JOURNAL_VERSION,
+                "fingerprint": fingerprint,
+                "total_jobs": total_jobs,
+                "chunk_size": chunk_size,
+                "n_chunks": len(chunk_keys),
+                "chunk_keys": list(chunk_keys),
+            }
+        )
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._handle.flush()
+
+    def record_chunk(self, chunk, results: List[RunResult]) -> None:
+        """Append one completed chunk (flushed immediately)."""
+        self._write(
+            {
+                "event": "chunk",
+                "key": chunk.key,
+                "index": chunk.index,
+                "results": [result_to_wire(result) for result in results],
+            }
+        )
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------- reading
+
+
+@dataclass
+class JournalState:
+    """Parsed journal: the run header + every completed chunk's results."""
+
+    fingerprint: str
+    total_jobs: int
+    chunk_size: int
+    n_chunks: int
+    chunk_keys: List[str]
+    completed: Dict[str, List[RunResult]] = field(default_factory=dict)
+
+    @property
+    def n_completed(self) -> int:
+        return len(self.completed)
+
+
+def read_journal(path, *, expect_fingerprint: Optional[str] = None) -> JournalState:
+    """Parse a journal, tolerating a truncated trailing line.
+
+    ``expect_fingerprint`` (when given) must match the header exactly; a
+    mismatch means the journal describes a different grid or geometry and
+    raises :class:`JournalMismatchError` instead of corrupting the run.
+    """
+    path = Path(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        raise JournalMismatchError(f"journal {path} is empty (no run header)")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise JournalMismatchError(f"journal {path} has a corrupt header: {exc}") from None
+    if header.get("event") != "run":
+        raise JournalMismatchError(
+            f"journal {path} does not start with a run header (got {header.get('event')!r})"
+        )
+    if header.get("version") != JOURNAL_VERSION:
+        raise JournalMismatchError(
+            f"journal {path} has schema version {header.get('version')!r}; "
+            f"this build reads version {JOURNAL_VERSION}"
+        )
+    state = JournalState(
+        fingerprint=str(header["fingerprint"]),
+        total_jobs=int(header["total_jobs"]),
+        chunk_size=int(header["chunk_size"]),
+        n_chunks=int(header["n_chunks"]),
+        chunk_keys=[str(key) for key in header["chunk_keys"]],
+    )
+    if expect_fingerprint is not None and state.fingerprint != expect_fingerprint:
+        raise JournalMismatchError(
+            f"journal {path} records fingerprint {state.fingerprint[:12]}..., "
+            f"but the submitted grid has {expect_fingerprint[:12]}...; "
+            "refusing to splice foreign results into this run"
+        )
+    known = set(state.chunk_keys)
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            # A truncated tail is the expected crash artefact: ignore it and
+            # let the chunk re-run.  Anything *before* the last line that
+            # fails to parse is real corruption.
+            if lineno == len(lines):
+                break
+            raise JournalMismatchError(
+                f"journal {path} line {lineno} is corrupt (not the trailing line)"
+            )
+        if record.get("event") != "chunk":
+            continue
+        key = str(record.get("key"))
+        if key not in known:
+            raise JournalMismatchError(
+                f"journal {path} line {lineno} records unknown chunk key {key!r}"
+            )
+        state.completed[key] = [
+            result_from_wire(entry) for entry in record.get("results", [])
+        ]
+    return state

@@ -1,0 +1,113 @@
+"""Length-prefixed message frames for the work-queue wire.
+
+Same preamble idiom as :mod:`repro.netservice.protocol` — magic, version,
+big-endian payload length::
+
+    +-------+---------+----------------+------------------------+
+    | magic | version | body length    |   body (pickle)        |
+    | b"RQ" | 1 byte  | uint32 big-end |   bl bytes             |
+    +-------+---------+----------------+------------------------+
+
+— but the body is a **pickle**, not JSON+arrays: leases carry frozen
+:class:`~repro.experiments.base.Job` values (nested frozen dataclasses) and
+results carry :class:`~repro.utils.results.RunResult` objects, both of which
+pickle round-trips bit-exactly for free.
+
+Trust model: pickle makes this a **trusted-worker** protocol.  Coordinator
+and workers are the same codebase run by the same operator (the coordinator
+spawns local workers itself; remote workers are started by the operator with
+``python -m repro.executor worker --connect``).  Do not point a worker at an
+untrusted coordinator or expose a coordinator to untrusted networks — that
+is the netservice's job, which speaks JSON precisely because its peers are
+untrusted tenants.
+
+Every message is a dict with a ``"type"`` key; malformed or oversized frames
+raise :class:`~repro.executor.errors.QueueProtocolError`, connection drops
+raise :class:`~repro.executor.errors.WorkerConnectionLost` (retryable on the
+worker side, lease-requeueing on the coordinator side).
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Dict
+
+from repro.executor.errors import QueueProtocolError, WorkerConnectionLost
+
+MAGIC = b"RQ"
+PROTOCOL_VERSION = 1
+_PREAMBLE = struct.Struct("!2sBI")
+
+#: Ceiling on one message body.  Chunk results dominate frame size; 256 MB
+#: comfortably holds paper-scale chunks while bounding what a corrupted
+#: length prefix can make either side allocate.
+DEFAULT_MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """Serialise one message dict into a frame."""
+    if not isinstance(message, dict) or "type" not in message:
+        raise QueueProtocolError(
+            f"queue messages must be dicts with a 'type' key, got {type(message).__name__}"
+        )
+    body = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    return _PREAMBLE.pack(MAGIC, PROTOCOL_VERSION, len(body)) + body
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes from a blocking socket or raise."""
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except socket.timeout:
+            raise
+        except (ConnectionError, BrokenPipeError, OSError) as exc:
+            raise WorkerConnectionLost(f"connection lost mid-frame: {exc}") from exc
+        if not chunk:
+            raise WorkerConnectionLost(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Send one message over a blocking socket."""
+    frame = encode_message(message)
+    try:
+        sock.sendall(frame)
+    except socket.timeout:
+        raise
+    except (ConnectionError, BrokenPipeError, OSError) as exc:
+        raise WorkerConnectionLost(f"connection lost while sending: {exc}") from exc
+
+
+def recv_message(
+    sock: socket.socket, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> Dict[str, Any]:
+    """Read one message from a blocking socket."""
+    raw = _recv_exactly(sock, _PREAMBLE.size)
+    magic, version, body_len = _PREAMBLE.unpack(raw)
+    if magic != MAGIC:
+        raise QueueProtocolError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if version != PROTOCOL_VERSION:
+        raise QueueProtocolError(
+            f"unsupported protocol version {version} (this build speaks {PROTOCOL_VERSION})"
+        )
+    if body_len > max_frame_bytes:
+        raise QueueProtocolError(
+            f"frame body length {body_len} exceeds max_frame_bytes={max_frame_bytes}"
+        )
+    body = _recv_exactly(sock, body_len)
+    try:
+        message = pickle.loads(body)
+    except Exception as exc:  # pickle raises a zoo of exception types
+        raise QueueProtocolError(f"frame body is not a valid pickle: {exc}") from None
+    if not isinstance(message, dict) or "type" not in message:
+        raise QueueProtocolError("frame body must be a dict with a 'type' key")
+    return message

@@ -1,0 +1,193 @@
+"""Work-queue worker: lease chunks, execute, report, heartbeat, reconnect.
+
+Run directly (``python -m repro.executor worker --connect host:port``) on any
+machine that can import :mod:`repro` — the coordinator spawns local copies
+of exactly this entry point, so "remote" and "local" workers are the same
+code path.  The loop:
+
+1. connect to the coordinator (jittered exponential backoff on failure,
+   like :class:`repro.netservice.NetClient` retries);
+2. ``hello`` -> ``request`` -> receive a chunk ``lease`` / a ``wait`` hint /
+   a ``shutdown``;
+3. execute the lease's jobs (through the lease's pickled ``run_job`` or the
+   registry trampoline), sending ``heartbeat`` frames from a side thread so
+   the coordinator can tell *slow* from *dead*;
+4. send the chunk's results under its idempotency key and ask for more.
+
+A lost connection mid-anything is retryable: the worker reconnects and asks
+again; the coordinator's lease expiry + completed-key dedup guarantee the
+grid still assembles exactly once.
+
+Fault injection (tests only): ``--fail-after-jobs N`` makes the process die
+hard (``os._exit``) after N jobs total — mid-chunk when N is not aligned to
+a chunk boundary — to exercise lease re-queue and journal resume.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import socket
+import threading
+import time
+import traceback
+from typing import Optional, Tuple
+
+from repro.executor.errors import QueueProtocolError, WorkerConnectionLost
+from repro.executor.protocol import recv_message, send_message
+
+#: Reconnect backoff: base * 2**(attempt-1), capped, plus up to 25% jitter.
+BACKOFF_BASE_S = 0.05
+BACKOFF_MAX_S = 2.0
+#: Exit code of a worker that gives up reconnecting.
+EXIT_NO_COORDINATOR = 3
+#: Exit code of an injected --fail-after-jobs death (asserted by tests).
+EXIT_INJECTED_FAULT = 17
+
+
+def _backoff_delay(attempt: int, rng: random.Random) -> float:
+    delay = min(BACKOFF_BASE_S * (2 ** (attempt - 1)), BACKOFF_MAX_S)
+    return delay * (1.0 + 0.25 * rng.random())
+
+
+def _connect(address: Tuple[str, int], *, attempts: int, rng: random.Random):
+    """Dial the coordinator with jittered exponential backoff."""
+    last_error: Optional[Exception] = None
+    for attempt in range(1, attempts + 1):
+        try:
+            sock = socket.create_connection(address, timeout=10.0)
+            sock.settimeout(30.0)
+            return sock
+        except OSError as exc:
+            last_error = exc
+            if attempt < attempts:
+                time.sleep(_backoff_delay(attempt, rng))
+    raise WorkerConnectionLost(
+        f"could not reach coordinator at {address[0]}:{address[1]} "
+        f"after {attempts} attempts: {last_error}"
+    )
+
+
+class _Heartbeat:
+    """Background thread sending heartbeats for the active lease.
+
+    Shares the connection with the main thread, so every send goes through
+    one lock — frames must never interleave mid-stream.
+    """
+
+    def __init__(self, sock, send_lock: threading.Lock, key: str, interval_s: float):
+        self._sock = sock
+        self._lock = send_lock
+        self._key = key
+        self._interval = max(0.05, interval_s)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                with self._lock:
+                    send_message(self._sock, {"type": "heartbeat", "key": self._key})
+            except (WorkerConnectionLost, OSError):
+                return
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+
+
+def _execute_lease(lease, sock, send_lock, fault_state) -> None:
+    """Run one leased chunk and report results (or the failure) back."""
+    from repro.executor.base import _job_runner
+
+    key = lease["key"]
+    call = _job_runner(lease.get("run_job"))
+    results = []
+    try:
+        with _Heartbeat(sock, send_lock, key, float(lease.get("heartbeat_s", 0.5))):
+            for job in lease["jobs"]:
+                results.append(call(job))
+                if fault_state is not None:
+                    fault_state["executed"] += 1
+                    if fault_state["executed"] >= fault_state["fail_after"]:
+                        # Die *hard*, mid-chunk: no result frame, no socket
+                        # shutdown handshake — exactly what a crashed or
+                        # OOM-killed box looks like to the coordinator.
+                        os._exit(EXIT_INJECTED_FAULT)
+    except Exception:
+        with send_lock:
+            send_message(
+                sock,
+                {"type": "error", "key": key, "traceback": traceback.format_exc()},
+            )
+        raise
+    with send_lock:
+        send_message(sock, {"type": "result", "key": key, "results": results})
+
+
+def run_worker(
+    host: str,
+    port: int,
+    *,
+    worker_id: Optional[str] = None,
+    heartbeat_s: float = 0.5,
+    max_connect_attempts: int = 8,
+    fail_after_jobs: Optional[int] = None,
+) -> int:
+    """Worker main loop; returns a process exit code.
+
+    Reconnects (with backoff) whenever the coordinator connection drops
+    mid-run; exits ``0`` on a clean ``shutdown``, ``EXIT_NO_COORDINATOR``
+    when the coordinator stays unreachable — which is also the normal end of
+    life for a worker that outlives its run.
+    """
+    worker_id = worker_id or f"worker-{os.getpid()}"
+    rng = random.Random(os.getpid())
+    address = (host, port)
+    fault_state = (
+        {"executed": 0, "fail_after": fail_after_jobs} if fail_after_jobs else None
+    )
+    while True:
+        try:
+            sock = _connect(address, attempts=max_connect_attempts, rng=rng)
+        except WorkerConnectionLost:
+            return EXIT_NO_COORDINATOR
+        send_lock = threading.Lock()
+        try:
+            with send_lock:
+                send_message(sock, {"type": "hello", "worker": worker_id})
+            welcome = recv_message(sock)
+            if welcome.get("type") != "welcome":
+                raise QueueProtocolError(
+                    f"expected welcome, got {welcome.get('type')!r}"
+                )
+            while True:
+                with send_lock:
+                    send_message(sock, {"type": "request"})
+                reply = recv_message(sock)
+                kind = reply.get("type")
+                if kind == "lease":
+                    _execute_lease(reply, sock, send_lock, fault_state)
+                elif kind == "wait":
+                    time.sleep(float(reply.get("delay_s", 0.05)))
+                elif kind == "shutdown":
+                    return 0
+                else:
+                    raise QueueProtocolError(f"unexpected reply type {kind!r}")
+        except (WorkerConnectionLost, QueueProtocolError, socket.timeout, OSError):
+            # Retryable: reconnect and ask again.  The coordinator's lease
+            # expiry + idempotency keys make the retry safe.
+            time.sleep(_backoff_delay(1, rng))
+        except Exception:
+            # _execute_lease already reported the traceback; the job failure
+            # is terminal for the run, so the worker can exit.
+            return 1
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass

@@ -3,13 +3,14 @@
 All pipelines follow one protocol (:class:`~repro.experiments.base.Experiment`):
 they expand an :class:`~repro.experiments.config.ExperimentScale` and a list of
 :class:`~repro.experiments.scenario.ScenarioSpec` into independent picklable
-jobs, execute them serially or on a
-:class:`~repro.experiments.runner.ParallelRunner` process pool (bit-identical
-results either way), and assemble an
+jobs, execute them under any :class:`~repro.executor.Executor` backend —
+in-process serial, one host's process/thread pool, or the distributed work
+queue (bit-identical results under every backend) — and assemble an
 :class:`~repro.experiments.base.ExperimentResult`.  The registry
 (:func:`get_experiment` / :func:`run_experiments`) plus the CLI
 (``python -m repro.experiments``) run any subset at any scale; the historical
-``run_*`` / ``format_*`` entry points remain as thin wrappers.
+``run_*`` / ``format_*`` entry points remain as deprecated wrappers over
+:mod:`repro.experiments.compat`.
 """
 
 from repro.crossbar.mapping import ShardingSpec

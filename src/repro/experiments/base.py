@@ -16,12 +16,15 @@ protocol:
   :class:`ExperimentResult`.
 
 :meth:`Experiment.run` is the shared template: build jobs, execute them
-(serially or on a runner — bit-identical either way, because every job is
-seeded up front and results are assembled in submission order), assemble.
+through an :class:`~repro.executor.Executor` (serial, process pool, or the
+distributed work queue — bit-identical under every backend, because every
+job is seeded up front and results are assembled in submission order),
+assemble.
 """
 
 from __future__ import annotations
 
+import inspect
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -187,11 +190,44 @@ class Experiment(ABC):
 
     # ------------------------------------------------------------- template
 
+    def accepted_run_options(self) -> List[str]:
+        """Names of the extra keyword options this experiment's
+        :meth:`build_jobs` accepts (empty for the default grid expansion;
+        ``["**anything"]`` when the override takes ``**kwargs``)."""
+        signature = inspect.signature(self.build_jobs)
+        accepted: List[str] = []
+        for name, parameter in signature.parameters.items():
+            if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+                return ["**anything"]
+            if parameter.kind is inspect.Parameter.KEYWORD_ONLY and name != "base_seed":
+                accepted.append(name)
+        return accepted
+
+    def _validate_run_options(self, options: Mapping[str, Any]) -> None:
+        """Reject unknown ``run(**options)`` at the boundary with a named
+        error, instead of a bare ``TypeError`` from deep inside the
+        template."""
+        accepted = self.accepted_run_options()
+        if accepted == ["**anything"]:
+            return
+        unknown = sorted(set(options) - set(accepted))
+        if unknown:
+            detail = (
+                f"accepted options: {sorted(accepted)}"
+                if accepted
+                else "this experiment accepts no extra options"
+            )
+            raise ValueError(
+                f"unknown run() options {unknown} for experiment "
+                f"{self.name!r}; {detail}"
+            )
+
     def run(
         self,
         scale="bench",
         *,
         scenarios=None,
+        executor=None,
         runner=None,
         base_seed: int = 0,
         **options,
@@ -205,19 +241,32 @@ class Experiment(ABC):
         scenarios:
             Scenario names / :class:`ScenarioSpec` instances; ``None`` selects
             the four paper configurations.
+        executor:
+            How jobs execute: an :class:`~repro.executor.Executor` instance,
+            a name (``"serial"``, ``"process"``, ``"thread"``, ``"queue"``),
+            or ``None`` for the in-process serial path.  Results are
+            bit-identical under every backend (every job is seeded up front,
+            results are collected in job order).
         runner:
-            Optional :class:`~repro.experiments.runner.ParallelRunner`; jobs
-            then execute on its worker pool with bit-identical results (every
-            job is seeded up front, results are collected in job order).
+            Deprecated alias: a
+            :class:`~repro.experiments.runner.ParallelRunner`, mapped onto a
+            :class:`~repro.executor.PoolExecutor`.  Pass ``executor=``
+            instead.
         base_seed:
             Root of the deterministic per-job seed derivation.
         options:
-            Experiment-specific knobs forwarded to :meth:`build_jobs`.
+            Experiment-specific knobs forwarded to :meth:`build_jobs`;
+            unknown names raise :class:`ValueError` here, naming the
+            experiment and its accepted options.
         """
+        from repro.executor import coerce_executor
+
+        executor = coerce_executor(executor, runner, owner=f"{self.name}.run()")
+        self._validate_run_options(options)
         scale = resolve_scale(scale)
         scenarios = resolve_scenarios(scenarios)
         jobs = self.build_jobs(scale, scenarios, base_seed=base_seed, **options)
-        results = execute_jobs(jobs, runner=runner, run_job=self.run_job)
+        results = execute_jobs(jobs, executor=executor, run_job=self.run_job)
         assembled = self.assemble(scale, scenarios, jobs, results)
         assembled.summary.setdefault("base_seed", base_seed)
         return assembled
@@ -250,23 +299,38 @@ def _execute_job(job: Job) -> RunResult:
 
 
 def execute_jobs(
-    jobs: Sequence[Job], *, runner=None, run_job=None
+    jobs: Sequence[Job],
+    *,
+    executor=None,
+    runner=None,
+    run_job=None,
+    on_progress=None,
+    cancel=None,
 ) -> List[RunResult]:
-    """Run every job, serially or on a :class:`ParallelRunner`, in order.
+    """Run every job through an :class:`~repro.executor.Executor`, in order.
 
-    When ``run_job`` (a module-level picklable function) is given, pool
-    workers receive it directly with each job, so user-registered
-    experiments work under any start method (``fork``/``spawn``/
-    ``forkserver``) without the worker needing to re-import and re-register
-    them; without it, jobs are resolved by name through the registry.
+    ``executor`` is an :class:`~repro.executor.Executor` instance, a name
+    understood by :func:`~repro.executor.resolve_executor` (``"serial"``,
+    ``"process"``, ``"thread"``, ``"queue"``), or ``None`` for the
+    in-process serial path.  ``runner`` is the deprecated spelling (a
+    :class:`~repro.experiments.runner.ParallelRunner`), mapped onto a
+    :class:`~repro.executor.PoolExecutor`.
+
+    When ``run_job`` (a module-level picklable function) is given, workers
+    receive it directly with each job, so user-registered experiments work
+    under any start method (``fork``/``spawn``/``forkserver``) and on
+    work-queue workers, without the worker needing to re-import and
+    re-register them; without it, jobs are resolved by name through the
+    registry.  ``on_progress`` / ``cancel`` are forwarded to the executor
+    (see :mod:`repro.executor.base`).
     """
-    if runner is None:
-        if run_job is None:
-            return [_execute_job(job) for job in jobs]
-        return [_run_annotated(run_job, job) for job in jobs]
-    if run_job is None:
-        return runner.map(_execute_job, [(job,) for job in jobs])
-    return runner.map(_run_annotated, [(run_job, job) for job in jobs])
+    from repro.executor import coerce_executor, resolve_executor
+
+    executor = coerce_executor(executor, runner, owner="execute_jobs()")
+    executor = resolve_executor(executor)
+    return executor.submit_jobs(
+        jobs, run_job=run_job, on_progress=on_progress, cancel=cancel
+    )
 
 
 def group_results_by_scenario(

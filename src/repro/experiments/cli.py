@@ -1,15 +1,23 @@
 """Command-line front end for the unified experiment API.
 
-Run any subset of the registered experiments at any scale, serially or on a
-process pool, optionally under non-default scenarios, and serialise the
-results::
+Run any subset of the registered experiments at any scale, under any
+executor backend (in-process serial, one host's worker pool, or the
+distributed work queue), optionally under non-default scenarios, and
+serialise the results::
 
     python -m repro.experiments table1 figure4 --scale smoke
     python -m repro.experiments --list
     python -m repro.experiments table1 --scenarios noisy-device quantized-adc
-    python -m repro.experiments sweep-adc-bits --scale smoke --mode process
-    python -m repro.experiments --scale bench --mode process --output-dir results/
+    python -m repro.experiments sweep-adc-bits --scale smoke --executor process
+    python -m repro.experiments figure5 --executor queue --workers 4 \
+        --journal run.jsonl
+    python -m repro.experiments figure5 --executor queue --resume run.jsonl \
+        --journal run.jsonl                      # skip completed chunks
+    python -m repro.experiments --executor queue --serve 0.0.0.0:7070 \
+        --workers 0                              # lease to remote workers only
+    python -m repro.experiments --connect coordinator-host:7070  # attach worker
 
+``--mode`` is the deprecated spelling of ``--executor``.
 ``scripts/run_experiments.py`` is a thin wrapper around the same entry point.
 """
 
@@ -18,6 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import warnings
 from typing import List, Optional
 
 from repro.experiments.config import SCALES
@@ -27,6 +36,10 @@ from repro.experiments.scenario import SCENARIOS, get_scenario, list_scenarios
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.executor import EXECUTOR_NAMES
+    from repro.executor.chunking import DEFAULT_CHUNK_SIZE
+    from repro.executor.cli import parse_address
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Run the paper's experiment pipelines through the unified registry.",
@@ -50,10 +63,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="scenario preset names (default: the four paper configurations)",
     )
     parser.add_argument(
+        "--executor",
+        default=None,
+        choices=EXECUTOR_NAMES,
+        help="execution backend: serial (default), process/thread (one "
+        "host's pool), queue (distributed work queue; see --serve/--connect)",
+    )
+    parser.add_argument(
         "--mode",
-        default="serial",
+        default=None,
         choices=ParallelRunner.VALID_MODES,
-        help="job execution mode (default: serial; 'process' uses a worker pool)",
+        help="DEPRECATED alias of --executor",
     )
     parser.add_argument(
         "--backend",
@@ -73,7 +93,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="worker-pool size for process/thread modes (default: CPU count)",
+        help="worker count: pool size for process/thread, spawned worker "
+        "subprocesses for queue (default: CPU count / 2; queue with "
+        "--workers 0 relies on externally attached workers)",
+    )
+    parser.add_argument(
+        "--serve",
+        type=parse_address,
+        default=None,
+        metavar="HOST:PORT",
+        help="queue executor only: coordinator bind address (default "
+        "127.0.0.1 on a free port) — remote workers attach with --connect",
+    )
+    parser.add_argument(
+        "--connect",
+        type=parse_address,
+        default=None,
+        metavar="HOST:PORT",
+        help="run as a WORKER attached to the coordinator at this address "
+        "(no experiments are selected; shorthand for "
+        "'python -m repro.executor worker --connect')",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=DEFAULT_CHUNK_SIZE,
+        metavar="N",
+        help=f"queue executor only: jobs per lease (default {DEFAULT_CHUNK_SIZE})",
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="queue executor only: write a resumable JSONL progress journal",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="queue executor only: replay completed chunks from a previous "
+        "journal instead of re-running them (bit-identically)",
     )
     parser.add_argument("--base-seed", type=int, default=0, help="root seed (default: 0)")
     parser.add_argument(
@@ -93,10 +152,42 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_executor(args):
+    """Map the parsed CLI flags onto an Executor instance (or None)."""
+    from repro.executor import QueueExecutor, resolve_executor
+
+    name = args.executor
+    if args.mode is not None:
+        if name is not None:
+            raise SystemExit("pass --executor or the deprecated --mode, not both")
+        warnings.warn(
+            "--mode is deprecated; use --executor", DeprecationWarning, stacklevel=2
+        )
+        name = args.mode
+    if name in (None, "serial"):
+        return None
+    if name == "queue":
+        host, port = args.serve if args.serve is not None else ("127.0.0.1", 0)
+        return QueueExecutor(
+            n_workers=2 if args.workers is None else args.workers,
+            chunk_size=args.chunk_size,
+            host=host,
+            port=port,
+            journal=args.journal,
+            resume=args.resume,
+        )
+    return resolve_executor(name, max_workers=args.workers)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if args.connect is not None:
+        from repro.executor.worker import run_worker
+
+        host, port = args.connect
+        return run_worker(host, port)
     if args.list:
         names = list_experiments()
         width = max(len(name) for name in names)
@@ -128,15 +219,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             for spec in resolve_scenarios(scenarios)
         ]
 
-    runner = None
-    if args.mode != "serial":
-        runner = ParallelRunner(mode=args.mode, max_workers=args.workers)
+    executor = _build_executor(args)
+    executor_name = executor.name if executor is not None else "serial"
 
     start = time.perf_counter()
     results = run_experiments(
         names,
         args.scale,
-        runner=runner,
+        executor=executor,
         scenarios=scenarios,
         base_seed=args.base_seed,
         output_dir=args.output_dir,
@@ -149,7 +239,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print()
     print(
         f"ran {len(results)} experiment(s) at scale={args.scale} "
-        f"in {elapsed:.1f}s ({args.mode} mode)"
+        f"in {elapsed:.1f}s ({executor_name} executor)"
     )
     if args.output_dir:
         print(f"results serialised to {args.output_dir}/")

@@ -1,0 +1,106 @@
+"""Deprecated legacy entry points, funnelled through one shim.
+
+The pre-registry API exposed one ``run_*``/``format_*`` pair per paper
+artefact (``run_table1``, ``run_figure3``, ...), each returning a
+bespoke result type keyed by (dataset, activation)-style pairs.  The
+registry (:func:`~repro.experiments.registry.run_experiments` /
+``get_experiment(name).run(...)``) superseded all of them with
+scenario-keyed :class:`~repro.experiments.base.ExperimentResult`, so the
+wrappers now live on only for backwards compatibility: every call lands
+here, emits one :class:`DeprecationWarning` pointing at the replacement,
+and delegates to the registered experiment.
+
+The shared pieces:
+
+* :func:`run_legacy` — the generic wrapper body (resolve the experiment,
+  run it, adapt the result), including the ``runner=`` translation onto a
+  :class:`~repro.executor.PoolExecutor` *without* a second deprecation
+  warning (one per call is enough).
+* :func:`legacy_collision` — the one copy of the panel-collision error the
+  per-figure ``_legacy_result`` adapters raise when two scenarios map onto
+  the same legacy key (figure3/figure4 used to carry near-identical
+  copies).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Callable
+
+from repro.experiments.registry import get_experiment
+
+
+def warn_legacy(name: str, replacement: str, *, stacklevel: int = 3) -> None:
+    """Emit the standard deprecation warning for one legacy entry point."""
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} "
+        "(see repro.experiments.registry.run_experiments)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def legacy_collision(experiment_name: str, key: Any, kind: str = "panel") -> ValueError:
+    """The error raised when two scenarios share one legacy result key.
+
+    Legacy result types are keyed by (dataset, activation)-style pairs, so
+    such selections cannot be represented — adapters raise this instead of
+    silently merging or overwriting runs.
+    """
+    return ValueError(
+        f"two scenarios map to the same legacy {kind} {key}; use "
+        f"get_experiment({experiment_name!r}).run(...) for scenario-keyed results"
+    )
+
+
+def run_legacy(
+    experiment_name: str,
+    adapter: Callable,
+    *,
+    wrapper: str,
+    scale="bench",
+    scenarios=None,
+    runner=None,
+    base_seed: int = 0,
+    **options,
+):
+    """Generic body of every deprecated ``run_*`` wrapper.
+
+    Runs the registered experiment and adapts the scenario-keyed result to
+    the historical shape via ``adapter`` (the module's ``_legacy_result``).
+    A passed ``runner`` maps onto a :class:`~repro.executor.PoolExecutor`
+    directly — the wrapper itself already warned, so the ``runner=``
+    deprecation is not emitted a second time.
+    """
+    from repro.executor import coerce_executor
+
+    warn_legacy(wrapper, f"get_experiment({experiment_name!r}).run(...)", stacklevel=4)
+    executor = coerce_executor(None, runner, owner=wrapper, warn=False)
+    result = get_experiment(experiment_name).run(
+        scale,
+        scenarios=scenarios,
+        executor=executor,
+        base_seed=base_seed,
+        **options,
+    )
+    return adapter(result)
+
+
+def deprecated_formatter(format_fn: Callable, replacement: str) -> Callable:
+    """Wrap a legacy ``format_*`` body with the deprecation warning.
+
+    ``format_fn`` is the private ``_format_*`` body; the public name is its
+    name with the leading underscore stripped.
+    """
+    import functools
+
+    public_name = format_fn.__name__.lstrip("_")
+
+    @functools.wraps(format_fn)
+    def wrapper(*args, **kwargs):
+        warn_legacy(f"{public_name}()", replacement)
+        return format_fn(*args, **kwargs)
+
+    wrapper.__name__ = public_name
+    wrapper.__qualname__ = public_name
+    return wrapper

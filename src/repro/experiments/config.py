@@ -13,8 +13,8 @@ preset:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Tuple
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Tuple
 
 from repro.utils.validation import check_positive_int
 
@@ -106,10 +106,47 @@ class ExperimentScale:
     def with_overrides(self, **kwargs) -> "ExperimentScale":
         """Return a copy with selected fields replaced (and re-validated).
 
-        Unknown field names raise :class:`TypeError`; invalid values raise
-        :class:`ValueError` through the same validation as construction.
+        Unknown field names raise :class:`TypeError` naming the accepted
+        fields; invalid values raise :class:`ValueError` through the same
+        validation as construction.
         """
+        known = {scale_field.name for scale_field in fields(self)}
+        unknown = sorted(set(kwargs) - known)
+        if unknown:
+            raise TypeError(
+                f"unknown ExperimentScale fields {unknown}; "
+                f"accepted fields: {sorted(known)}"
+            )
         return replace(self, **kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable representation (inverse of :meth:`from_dict`)."""
+        payload: Dict[str, Any] = {}
+        for scale_field in fields(self):
+            value = getattr(self, scale_field.name)
+            payload[scale_field.name] = list(value) if isinstance(value, tuple) else value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentScale":
+        """Reconstruct a scale written by :meth:`to_dict`.
+
+        Unknown keys are rejected (same contract as
+        ``ServiceConfig.from_dict``): a typo'd field in a serialised scale
+        must fail loudly, not be silently dropped.
+        """
+        known = {scale_field.name for scale_field in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown ExperimentScale fields {unknown}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        kwargs = dict(payload)
+        for key in ("query_counts", "attack_strengths", "power_loss_weights"):
+            if key in kwargs:
+                kwargs[key] = tuple(kwargs[key])
+        return cls(**kwargs)
 
 
 SCALES: Dict[str, ExperimentScale] = {

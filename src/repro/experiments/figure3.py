@@ -23,6 +23,7 @@ from typing import Dict, List, Sequence, Tuple
 from repro.analysis.correlation import pearson_correlation
 from repro.analysis.sensitivity import SensitivityMaps, sensitivity_norm_maps, spatial_smoothness
 from repro.experiments.base import Experiment, ExperimentResult, Job
+from repro.experiments.compat import deprecated_formatter, legacy_collision, run_legacy
 from repro.experiments.config import ExperimentScale
 from repro.experiments.registry import register
 from repro.experiments.reporting import format_table, has_non_paper_scenarios
@@ -205,10 +206,7 @@ def _legacy_result(result: ExperimentResult) -> Figure3Result:
     for run in result.sweep:
         key = (run.metadata.get("dataset"), run.metadata.get("activation"))
         if key in output.maps:
-            raise ValueError(
-                f"two scenarios map to the same legacy panel {key}; use "
-                "get_experiment('figure3').run(...) for scenario-keyed results"
-            )
+            raise legacy_collision("figure3", key)
         output.maps[key] = SensitivityMaps(
             sensitivity=run.arrays["sensitivity_map"],
             column_norms=run.arrays["norm_map"],
@@ -222,20 +220,24 @@ def _legacy_result(result: ExperimentResult) -> Figure3Result:
 def run_figure3(
     scale="bench", *, base_seed: int = 0, runner=None, scenarios=None
 ) -> Figure3Result:
-    """Reproduce the data behind Figure 3 (legacy-shaped result).
+    """DEPRECATED: reproduce the data behind Figure 3 (legacy-shaped result).
 
-    Thin wrapper over the registered :class:`Figure3Experiment`; passing a
-    :class:`~repro.experiments.runner.ParallelRunner` executes the
-    per-scenario jobs on its worker pool with bit-identical results.
+    Use ``get_experiment("figure3").run(...)`` for scenario-keyed results;
+    this wrapper delegates through :func:`repro.experiments.compat.run_legacy`
+    and emits a :class:`DeprecationWarning`.
     """
-    experiment = Figure3Experiment()
-    result = experiment.run(
-        scale, scenarios=scenarios, runner=runner, base_seed=base_seed
+    return run_legacy(
+        "figure3",
+        _legacy_result,
+        wrapper="run_figure3()",
+        scale=scale,
+        scenarios=scenarios,
+        runner=runner,
+        base_seed=base_seed,
     )
-    return _legacy_result(result)
 
 
-def format_figure3(result: Figure3Result) -> str:
+def _format_figure3(result: Figure3Result) -> str:
     """Render the per-panel summary statistics as a table."""
     headers = [
         "Panels",
@@ -271,10 +273,16 @@ def format_figure3(result: Figure3Result) -> str:
     )
 
 
+#: DEPRECATED public spelling of :func:`_format_figure3`.
+format_figure3 = deprecated_formatter(
+    _format_figure3, "get_experiment('figure3').format_result(...)"
+)
+
+
 def main() -> None:  # pragma: no cover - console entry point
     """Run the Figure 3 reproduction at bench scale and print the summary."""
-    result = run_figure3("bench")
-    print(format_figure3(result))
+    result = _legacy_result(Figure3Experiment().run("bench"))
+    print(_format_figure3(result))
 
 
 if __name__ == "__main__":  # pragma: no cover

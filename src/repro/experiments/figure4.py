@@ -33,6 +33,7 @@ from repro.experiments.base import (
     Job,
     group_results_by_scenario,
 )
+from repro.experiments.compat import deprecated_formatter, legacy_collision, run_legacy
 from repro.experiments.config import ExperimentScale
 from repro.experiments.registry import register
 from repro.experiments.reporting import format_series
@@ -198,10 +199,7 @@ def _legacy_result(result: ExperimentResult) -> Figure4Result:
     for entry in result.summary.get("curves", []):
         key = (entry["dataset"], entry["activation"])
         if key in output.curves:
-            raise ValueError(
-                f"two scenarios map to the same legacy panel {key}; use "
-                "get_experiment('figure4').run(...) for scenario-keyed results"
-            )
+            raise legacy_collision("figure4", key)
         output.curves[key] = {
             label: list(curve) for label, curve in entry["curves"].items()
         }
@@ -216,20 +214,24 @@ def _legacy_result(result: ExperimentResult) -> Figure4Result:
 def run_figure4(
     scale="bench", *, base_seed: int = 0, runner=None, scenarios=None
 ) -> Figure4Result:
-    """Reproduce the Figure 4 accuracy-vs-strength curves (legacy-shaped result).
+    """DEPRECATED: reproduce the Figure 4 curves (legacy-shaped result).
 
-    Thin wrapper over the registered :class:`Figure4Experiment`; passing a
-    :class:`~repro.experiments.runner.ParallelRunner` executes the
-    scenario x seed jobs on its worker pool with bit-identical results.
+    Use ``get_experiment("figure4").run(...)`` for scenario-keyed results;
+    this wrapper delegates through :func:`repro.experiments.compat.run_legacy`
+    and emits a :class:`DeprecationWarning`.
     """
-    experiment = Figure4Experiment()
-    result = experiment.run(
-        scale, scenarios=scenarios, runner=runner, base_seed=base_seed
+    return run_legacy(
+        "figure4",
+        _legacy_result,
+        wrapper="run_figure4()",
+        scale=scale,
+        scenarios=scenarios,
+        runner=runner,
+        base_seed=base_seed,
     )
-    return _legacy_result(result)
 
 
-def format_figure4(result: Figure4Result) -> str:
+def _format_figure4(result: Figure4Result) -> str:
     """Render one text panel per configuration (accuracy vs attack strength)."""
     sections = []
     for (dataset, activation), curves in result.curves.items():
@@ -248,10 +250,16 @@ def format_figure4(result: Figure4Result) -> str:
     return "\n\n".join(sections)
 
 
+#: DEPRECATED public spelling of :func:`_format_figure4`.
+format_figure4 = deprecated_formatter(
+    _format_figure4, "get_experiment('figure4').format_result(...)"
+)
+
+
 def main() -> None:  # pragma: no cover - console entry point
     """Run the Figure 4 reproduction at bench scale and print the curves."""
-    result = run_figure4("bench")
-    print(format_figure4(result))
+    result = _legacy_result(Figure4Experiment().run("bench"))
+    print(_format_figure4(result))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -33,6 +33,7 @@ from repro.analysis.statistics import independent_ttest
 from repro.attacks.oracle import Oracle
 from repro.attacks.surrogate import SurrogateAttack, SurrogateConfig
 from repro.experiments.base import Experiment, ExperimentResult, Job
+from repro.experiments.compat import deprecated_formatter, legacy_collision, run_legacy
 from repro.experiments.config import ExperimentScale, resolve_scale
 from repro.experiments.registry import register
 from repro.experiments.reporting import format_series
@@ -383,11 +384,7 @@ def _legacy_result(result: ExperimentResult) -> Figure5Result:
         row = _row_from_summary_entry(entry)
         key = (row.dataset, row.output_mode)
         if key in output.rows:
-            raise ValueError(
-                f"two scenarios map to the same legacy row {key}; the legacy "
-                "Figure5Result is (dataset, output_mode)-keyed — use "
-                "get_experiment('figure5').run(...) for scenario-keyed results"
-            )
+            raise legacy_collision("figure5", key, "row")
         output.rows[key] = row
     return output
 
@@ -420,20 +417,26 @@ def run_figure5(
         With explicit ``rows``, each row's dataset is paired with the first
         scenario for that dataset (its hardware/defence stack applies), or
         with an ideal ad-hoc scenario when none matches.
+
+    DEPRECATED: use ``get_experiment("figure5").run(...)`` for scenario-keyed
+    results; this wrapper delegates through
+    :func:`repro.experiments.compat.run_legacy` and emits a
+    :class:`DeprecationWarning`.
     """
     scale = resolve_scale(scale)
     if rows is None and scenarios is None:
         rows = DEFAULT_ROWS
-    experiment = Figure5Experiment()
-    result = experiment.run(
-        scale,
+    return run_legacy(
+        "figure5",
+        _legacy_result,
+        wrapper="run_figure5()",
+        scale=scale,
         scenarios=scenarios,
         runner=runner,
         base_seed=base_seed,
         rows=rows,
         attack_strength=attack_strength,
     )
-    return _legacy_result(result)
 
 
 def _format_row(row: Figure5Row, label: str) -> List[str]:
@@ -481,7 +484,7 @@ def _format_row(row: Figure5Row, label: str) -> List[str]:
     return sections
 
 
-def format_figure5(result: Figure5Result) -> str:
+def _format_figure5(result: Figure5Result) -> str:
     """Render every requested row as three text panels."""
     sections = []
     for (dataset, output_mode), row in result.rows.items():
@@ -490,12 +493,20 @@ def format_figure5(result: Figure5Result) -> str:
     return "\n\n".join(sections)
 
 
+#: DEPRECATED public spelling of :func:`_format_figure5`.
+format_figure5 = deprecated_formatter(
+    _format_figure5, "get_experiment('figure5').format_result(...)"
+)
+
+
 def main() -> None:  # pragma: no cover - console entry point
     """Run the MNIST rows of Figure 5 at bench scale and print them."""
-    result = run_figure5(
-        "bench", rows=(("mnist-like", "label"), ("mnist-like", "raw"))
+    result = _legacy_result(
+        Figure5Experiment().run(
+            "bench", rows=(("mnist-like", "label"), ("mnist-like", "raw"))
+        )
     )
-    print(format_figure5(result))
+    print(_format_figure5(result))
 
 
 if __name__ == "__main__":  # pragma: no cover

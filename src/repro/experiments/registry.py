@@ -84,6 +84,7 @@ def run_experiments(
     names: Optional[Sequence[str]] = None,
     scale="bench",
     *,
+    executor=None,
     runner=None,
     scenarios=None,
     base_seed: int = 0,
@@ -98,10 +99,14 @@ def run_experiments(
     scale:
         Size preset name or :class:`~repro.experiments.config.ExperimentScale`
         shared by all selected experiments.
+    executor:
+        An :class:`~repro.executor.Executor` instance or name (``"serial"``,
+        ``"process"``, ``"thread"``, ``"queue"``) shared by every selected
+        experiment; results are bit-identical under every backend.
     runner:
-        Optional :class:`~repro.experiments.runner.ParallelRunner`; every
-        experiment's jobs then execute on its worker pool (results are
-        bit-identical to the serial path).
+        Deprecated alias: a
+        :class:`~repro.experiments.runner.ParallelRunner`, mapped onto a
+        :class:`~repro.executor.PoolExecutor`.  Pass ``executor=`` instead.
     scenarios:
         Scenario preset names / :class:`ScenarioSpec` instances shared by all
         selected experiments; ``None`` selects the paper configurations.
@@ -116,6 +121,9 @@ def run_experiments(
     -------
     dict mapping experiment name -> :class:`ExperimentResult`, in run order.
     """
+    from repro.executor import coerce_executor
+
+    executor = coerce_executor(executor, runner, owner="run_experiments()")
     if names is None:
         names = list_experiments()
     scale = resolve_scale(scale)
@@ -123,7 +131,7 @@ def run_experiments(
     for name in names:
         experiment = get_experiment(name)
         result = experiment.run(
-            scale, scenarios=scenarios, runner=runner, base_seed=base_seed
+            scale, scenarios=scenarios, executor=executor, base_seed=base_seed
         )
         results[experiment.name] = result
         if output_dir is not None:

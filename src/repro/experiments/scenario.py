@@ -249,8 +249,20 @@ class ScenarioSpec:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "ScenarioSpec":
-        """Inverse of :meth:`to_dict` (nested configs are reconstructed)."""
+        """Inverse of :meth:`to_dict` (nested configs are reconstructed).
+
+        Unknown keys are rejected (same contract as
+        :meth:`ServiceConfig.from_dict`): a typo'd knob in a serialised
+        scenario must fail loudly, not be silently dropped.
+        """
         kwargs = dict(payload)
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = sorted(set(kwargs) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown ScenarioSpec fields {unknown}; "
+                f"expected a subset of {sorted(known)}"
+            )
         nonidealities = kwargs.get("nonidealities")
         if isinstance(nonidealities, dict):
             kwargs["nonidealities"] = NonidealityConfig(**nonidealities)

@@ -8,9 +8,10 @@ such as ``adc.bits``, ``device.read_noise``, ``defense.power_noise_std`` or
 ``sharding``) and a value grid, and expands into a tuple of derived
 scenarios differing from the base in exactly the swept field.  The
 registered :class:`SweepExperiment` fans the derived scenarios out as
-scenario x seed jobs — picklable, so the whole sweep runs on a
-:class:`~repro.experiments.runner.ParallelRunner` process pool bit-identical
-to the serial path — and assembles per-setting curves of
+scenario x seed jobs — picklable, so the whole sweep runs under any
+:class:`~repro.executor.Executor` backend (one host's process pool or the
+distributed work queue) bit-identical to the serial path — and assembles
+per-setting curves of
 :func:`~repro.defenses.evaluation.leakage_correlation` and
 :func:`~repro.defenses.evaluation.single_pixel_attack_advantage` with
 mean +/- std across seeds.
@@ -225,7 +226,19 @@ class SweepSpec:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "SweepSpec":
-        """Reconstruct a :class:`SweepSpec` written by :meth:`to_dict`."""
+        """Reconstruct a :class:`SweepSpec` written by :meth:`to_dict`.
+
+        Unknown keys are rejected (same contract as
+        ``ServiceConfig.from_dict``): a typo'd sweep-knob key must fail
+        loudly, not be silently dropped.
+        """
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown SweepSpec fields {unknown}; "
+                f"expected a subset of {sorted(known)}"
+            )
         return cls(
             name=str(payload["name"]),
             base=ScenarioSpec.from_dict(payload["base"]),

@@ -31,6 +31,7 @@ from repro.experiments.base import (
     Job,
     group_results_by_scenario,
 )
+from repro.experiments.compat import deprecated_formatter, legacy_collision, run_legacy
 from repro.experiments.config import ExperimentScale
 from repro.experiments.registry import register
 from repro.experiments.reporting import format_table, has_non_paper_scenarios
@@ -172,7 +173,7 @@ class Table1Experiment(Experiment):
         valid selection for the scenario-keyed result being formatted here.
         """
         rows = [dict(row) for row in result.summary.get("rows", [])]
-        return format_table1(Table1Result(scale_name=result.scale_name, rows=rows))
+        return _format_table1(Table1Result(scale_name=result.scale_name, rows=rows))
 
 
 register(Table1Experiment)
@@ -193,10 +194,7 @@ def _legacy_result(result: ExperimentResult) -> Table1Result:
         key = (run.metadata.get("dataset"), run.metadata.get("activation"))
         scenario = str(run.metadata.get("scenario"))
         if scenario_for_key.setdefault(key, scenario) != scenario:
-            raise ValueError(
-                f"two scenarios map to the same legacy configuration {key}; "
-                "use get_experiment('table1').run(...) for scenario-keyed results"
-            )
+            raise legacy_collision("table1", key, "configuration")
         if key not in output.sweeps:
             output.sweeps[key] = SweepResult(name=run.name)
         output.sweeps[key].add(run)
@@ -206,20 +204,24 @@ def _legacy_result(result: ExperimentResult) -> Table1Result:
 def run_table1(
     scale="bench", *, base_seed: int = 0, runner=None, scenarios=None
 ) -> Table1Result:
-    """Reproduce Table I at the requested scale (legacy-shaped result).
+    """DEPRECATED: reproduce Table I (legacy-shaped result).
 
-    Thin wrapper over the registered :class:`Table1Experiment`; passing a
-    :class:`~repro.experiments.runner.ParallelRunner` executes the
-    scenario x seed jobs on its worker pool with bit-identical results.
+    Use ``get_experiment("table1").run(...)`` for scenario-keyed results;
+    this wrapper delegates through :func:`repro.experiments.compat.run_legacy`
+    and emits a :class:`DeprecationWarning`.
     """
-    experiment = Table1Experiment()
-    result = experiment.run(
-        scale, scenarios=scenarios, runner=runner, base_seed=base_seed
+    return run_legacy(
+        "table1",
+        _legacy_result,
+        wrapper="run_table1()",
+        scale=scale,
+        scenarios=scenarios,
+        runner=runner,
+        base_seed=base_seed,
     )
-    return _legacy_result(result)
 
 
-def format_table1(result: Table1Result) -> str:
+def _format_table1(result: Table1Result) -> str:
     """Render the reproduction next to the paper's reported values."""
     with_scenario = has_non_paper_scenarios(result.rows)
     headers = (["Scenario"] if with_scenario else []) + [
@@ -256,10 +258,16 @@ def format_table1(result: Table1Result) -> str:
     )
 
 
+#: DEPRECATED public spelling of :func:`_format_table1`.
+format_table1 = deprecated_formatter(
+    _format_table1, "get_experiment('table1').format_result(...)"
+)
+
+
 def main() -> None:  # pragma: no cover - console entry point
     """Run the Table I reproduction at bench scale and print it."""
-    result = run_table1("bench")
-    print(format_table1(result))
+    result = _legacy_result(Table1Experiment().run("bench"))
+    print(_format_table1(result))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -396,10 +396,13 @@ class TestRunExperimentsEndToEnd:
             assert "mnist-like" in formatted
 
     def test_unknown_run_options_raise(self, fast_scale):
-        """Typo'd options must error, not silently run with defaults."""
-        with pytest.raises(TypeError):
+        """Typo'd options must error at the run() boundary, naming the
+        experiment and the options it does accept."""
+        with pytest.raises(ValueError, match=r"unknown run\(\) options.*'table1'"):
             get_experiment("table1").run(fast_scale, rows=[("mnist-like", "raw")])
-        with pytest.raises(TypeError):
+        with pytest.raises(
+            ValueError, match=r"'figure5'.*(?:attack_strength|rows)"
+        ):
             get_experiment("figure5").run(fast_scale, attack_stregth=0.3)
 
     def test_execute_job_attaches_metadata(self, fast_scale):
