@@ -31,6 +31,7 @@ from repro.executor.errors import (
     ExecutorError,
     JobFailedError,
     JournalMismatchError,
+    QueueAuthError,
     QueueProtocolError,
     WorkerConnectionLost,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "JournalMismatchError",
     "JournalWriter",
     "PoolExecutor",
+    "QueueAuthError",
     "QueueExecutor",
     "QueueProtocolError",
     "SerialExecutor",

@@ -12,6 +12,15 @@ import argparse
 from typing import List, Optional, Tuple
 
 
+def load_auth_key(path) -> str:
+    """Read a shared auth key from a file (stripped; must be non-empty)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        key = handle.read().strip()
+    if not key:
+        raise argparse.ArgumentTypeError(f"auth key file {path!r} is empty")
+    return key
+
+
 def parse_address(value: str) -> Tuple[str, int]:
     """Parse ``HOST:PORT`` (host may be empty, meaning all interfaces)."""
     host, sep, port = value.rpartition(":")
@@ -44,6 +53,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     worker.add_argument(
         "--id", default=None, help="worker id shown in coordinator stats/logs"
+    )
+    worker.add_argument(
+        "--auth-file",
+        default=None,
+        metavar="PATH",
+        help="file holding the coordinator's shared auth key (default: the "
+        "REPRO_QUEUE_AUTH environment variable)",
     )
     worker.add_argument(
         "--heartbeat",
@@ -79,6 +95,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             host,
             port,
             worker_id=args.id,
+            auth_key=load_auth_key(args.auth_file) if args.auth_file else None,
             heartbeat_s=args.heartbeat,
             max_connect_attempts=args.max_connect_attempts,
             fail_after_jobs=args.fail_after_jobs,

@@ -21,6 +21,16 @@ class QueueProtocolError(ExecutorError):
     """A malformed or oversized frame on the work-queue wire."""
 
 
+class QueueAuthError(ExecutorError):
+    """The shared-key challenge handshake failed (terminal, not retryable).
+
+    Raised by the coordinator when a connecting peer cannot prove knowledge
+    of the run's auth key, and by a worker when the coordinator cannot —
+    either way the peer is misconfigured or untrusted, and retrying with the
+    same key cannot succeed.
+    """
+
+
 class WorkerConnectionLost(ExecutorError):
     """The coordinator/worker connection died mid-conversation (retryable)."""
 

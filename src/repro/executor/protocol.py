@@ -16,10 +16,27 @@ pickle round-trips bit-exactly for free.
 Trust model: pickle makes this a **trusted-worker** protocol.  Coordinator
 and workers are the same codebase run by the same operator (the coordinator
 spawns local workers itself; remote workers are started by the operator with
-``python -m repro.executor worker --connect``).  Do not point a worker at an
-untrusted coordinator or expose a coordinator to untrusted networks — that
-is the netservice's job, which speaks JSON precisely because its peers are
-untrusted tenants.
+``python -m repro.executor worker --connect``).  Because unpickling a frame
+from an attacker is arbitrary code execution, **no pickle frame is read
+before the peer authenticates**: every connection starts with the
+fixed-length HMAC-SHA256 challenge handshake below (the
+:mod:`multiprocessing.connection` ``authkey`` scheme), mutual in both
+directions — the coordinator proves the worker knows the run's shared key
+before parsing anything, and the worker proves the *coordinator* does
+before executing any lease it sends.  The handshake reads only
+fixed-length byte strings, so an unauthenticated peer controls no lengths
+and no deserialisation::
+
+    coordinator -> worker   b"RQA" + version + nonce_s            (36 bytes)
+    worker -> coordinator   nonce_w + HMAC(key, b"...client:" + nonce_s)
+    coordinator -> worker   HMAC(key, b"...server:" + nonce_w)
+
+The key is shared out of band: :class:`~repro.executor.queue.QueueExecutor`
+exports it to the workers it spawns via the ``REPRO_QUEUE_AUTH``
+environment variable, and operators hand it to remote workers the same way
+(or via ``--auth-file``).  Even so, do not expose a coordinator to
+untrusted networks — serving untrusted peers is the netservice's job, which
+speaks JSON precisely because its tenants are untrusted.
 
 Every message is a dict with a ``"type"`` key; malformed or oversized frames
 raise :class:`~repro.executor.errors.QueueProtocolError`, connection drops
@@ -29,16 +46,32 @@ worker side, lease-requeueing on the coordinator side).
 
 from __future__ import annotations
 
+import hashlib
+import hmac
+import os
 import pickle
 import socket
 import struct
-from typing import Any, Dict
+from typing import Any, Dict, Union
 
-from repro.executor.errors import QueueProtocolError, WorkerConnectionLost
+from repro.executor.errors import (
+    QueueAuthError,
+    QueueProtocolError,
+    WorkerConnectionLost,
+)
 
 MAGIC = b"RQ"
 PROTOCOL_VERSION = 1
 _PREAMBLE = struct.Struct("!2sBI")
+
+#: Environment variable carrying the shared auth key to worker processes.
+AUTH_ENV_VAR = "REPRO_QUEUE_AUTH"
+
+AUTH_MAGIC = b"RQA"
+_NONCE_BYTES = 32
+_DIGEST_BYTES = hashlib.sha256().digest_size
+_CLIENT_SALT = b"repro-queue-client:"
+_SERVER_SALT = b"repro-queue-server:"
 
 #: Ceiling on one message body.  Chunk results dominate frame size; 256 MB
 #: comfortably holds paper-scale chunks while bounding what a corrupted
@@ -111,3 +144,87 @@ def recv_message(
     if not isinstance(message, dict) or "type" not in message:
         raise QueueProtocolError("frame body must be a dict with a 'type' key")
     return message
+
+
+# ------------------------------------------------------------ authentication
+
+
+def normalize_auth_key(key: Union[str, bytes]) -> bytes:
+    """Coerce an auth key to the HMAC key bytes (keys are operator strings)."""
+    if isinstance(key, bytes):
+        material = key
+    elif isinstance(key, str):
+        material = key.encode("utf-8")
+    else:
+        raise TypeError(f"auth key must be str or bytes, got {type(key).__name__}")
+    if not material:
+        raise ValueError("auth key must be non-empty")
+    return material
+
+
+def _digest(key: bytes, salt: bytes, nonce: bytes) -> bytes:
+    return hmac.new(key, salt + nonce, hashlib.sha256).digest()
+
+
+def server_authenticate(sock: socket.socket, key: Union[str, bytes]) -> None:
+    """Coordinator side of the mutual shared-key handshake.
+
+    Challenges the connecting peer and proves our own knowledge of the key
+    back; raises :class:`QueueAuthError` on a wrong answer and closes without
+    ever parsing attacker-controlled lengths or pickles.
+    """
+    material = normalize_auth_key(key)
+    nonce_s = os.urandom(_NONCE_BYTES)
+    try:
+        sock.sendall(AUTH_MAGIC + bytes([PROTOCOL_VERSION]) + nonce_s)
+        reply = _recv_exactly(sock, _NONCE_BYTES + _DIGEST_BYTES)
+    except socket.timeout:
+        raise
+    except (ConnectionError, BrokenPipeError, OSError) as exc:
+        raise WorkerConnectionLost(f"connection lost during auth: {exc}") from exc
+    nonce_c, answer = reply[:_NONCE_BYTES], reply[_NONCE_BYTES:]
+    if not hmac.compare_digest(answer, _digest(material, _CLIENT_SALT, nonce_s)):
+        raise QueueAuthError(
+            "peer failed the shared-key challenge (wrong or missing auth key)"
+        )
+    try:
+        sock.sendall(_digest(material, _SERVER_SALT, nonce_c))
+    except socket.timeout:
+        raise
+    except (ConnectionError, BrokenPipeError, OSError) as exc:
+        raise WorkerConnectionLost(f"connection lost during auth: {exc}") from exc
+
+
+def client_authenticate(sock: socket.socket, key: Union[str, bytes]) -> None:
+    """Worker side of the mutual shared-key handshake.
+
+    Answers the coordinator's challenge and then requires the coordinator to
+    prove it holds the same key — a worker must never execute a pickled
+    lease from a peer that cannot (raises :class:`QueueAuthError`).
+    """
+    material = normalize_auth_key(key)
+    challenge = _recv_exactly(sock, len(AUTH_MAGIC) + 1 + _NONCE_BYTES)
+    if challenge[: len(AUTH_MAGIC)] != AUTH_MAGIC:
+        raise QueueAuthError(
+            "coordinator did not open with an auth challenge "
+            "(mismatched protocol build?)"
+        )
+    version = challenge[len(AUTH_MAGIC)]
+    if version != PROTOCOL_VERSION:
+        raise QueueProtocolError(
+            f"unsupported protocol version {version} (this build speaks {PROTOCOL_VERSION})"
+        )
+    nonce_s = challenge[len(AUTH_MAGIC) + 1 :]
+    nonce_c = os.urandom(_NONCE_BYTES)
+    try:
+        sock.sendall(nonce_c + _digest(material, _CLIENT_SALT, nonce_s))
+    except socket.timeout:
+        raise
+    except (ConnectionError, BrokenPipeError, OSError) as exc:
+        raise WorkerConnectionLost(f"connection lost during auth: {exc}") from exc
+    proof = _recv_exactly(sock, _DIGEST_BYTES)
+    if not hmac.compare_digest(proof, _digest(material, _SERVER_SALT, nonce_c)):
+        raise QueueAuthError(
+            "coordinator failed to prove knowledge of the shared auth key; "
+            "refusing to execute leases from it"
+        )

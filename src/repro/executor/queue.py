@@ -24,12 +24,15 @@ what, in what order, or how many leases were retried.
 
 from __future__ import annotations
 
+import ipaddress
 import os
+import secrets
 import socket
 import subprocess
 import sys
 import threading
 import time
+import warnings
 from collections import deque
 from typing import Dict, List, Optional, Sequence
 
@@ -50,14 +53,18 @@ from repro.executor.errors import (
     ExecutionCancelled,
     ExecutorError,
     JobFailedError,
+    QueueAuthError,
     QueueProtocolError,
     WorkerConnectionLost,
 )
 from repro.executor.journal import JournalWriter, read_journal
 from repro.executor.protocol import (
+    AUTH_ENV_VAR,
     DEFAULT_MAX_FRAME_BYTES,
+    normalize_auth_key,
     recv_message,
     send_message,
+    server_authenticate,
 )
 
 #: Default heartbeat interval leased to workers.
@@ -66,6 +73,16 @@ DEFAULT_HEARTBEAT_S = 0.5
 LEASE_TIMEOUT_FACTOR = 6.0
 #: Delay a worker is told to wait before re-asking when no work is pending.
 WAIT_DELAY_S = 0.05
+
+
+def _is_loopback_host(host: str) -> bool:
+    """True when ``host`` can only be reached from this machine."""
+    if host == "localhost":
+        return True
+    try:
+        return ipaddress.ip_address(host).is_loopback
+    except ValueError:
+        return False
 
 
 class _Lease:
@@ -120,6 +137,17 @@ class QueueExecutor(Executor):
         Jobs per lease (see :data:`~repro.executor.chunking.DEFAULT_CHUNK_SIZE`).
     host / port:
         Bind address of the coordinator; ``port=0`` picks a free port.
+    auth_key:
+        Shared secret for the mutual HMAC handshake every connection must
+        pass before any pickle frame is parsed (see
+        :mod:`repro.executor.protocol`).  ``None`` falls back to the
+        ``REPRO_QUEUE_AUTH`` environment variable, then — for loopback
+        binds only — to a fresh random key private to this run (spawned
+        local workers inherit it via the environment).  Binding a
+        non-loopback address without an explicit key is refused: it would
+        expose a pickle endpoint guarded only by an unguessable-but-unshared
+        secret, locking every remote worker out while still advertising the
+        port.
     journal:
         Path to write the JSONL progress journal to (optional).
     resume:
@@ -139,7 +167,10 @@ class QueueExecutor(Executor):
         Replace local workers that die before the run completes.
     spawn_timeout_s:
         How long :meth:`submit_jobs` waits for the grid to finish before
-        declaring the run stuck (generous default scales with grid size).
+        declaring the run stuck.  ``None`` (the default) waits
+        indefinitely — set a ceiling whenever workers may never attach
+        (e.g. ``n_workers=0`` with remote workers that could fail to
+        start).
     """
 
     name = "queue"
@@ -151,6 +182,7 @@ class QueueExecutor(Executor):
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         host: str = "127.0.0.1",
         port: int = 0,
+        auth_key: Optional[str] = None,
         journal=None,
         resume=None,
         heartbeat_s: float = DEFAULT_HEARTBEAT_S,
@@ -166,6 +198,29 @@ class QueueExecutor(Executor):
         self.chunk_size = chunk_size
         self.host = host
         self.port = port
+        if auth_key is None:
+            auth_key = os.environ.get(AUTH_ENV_VAR) or None
+        if auth_key is None:
+            if not _is_loopback_host(host):
+                raise ValueError(
+                    f"refusing to bind coordinator to non-loopback {host!r} "
+                    "without an explicit auth key: the work-queue wire "
+                    "carries pickles, so every connection must pass the "
+                    "shared-key handshake — pass auth_key= (or set "
+                    f"{AUTH_ENV_VAR}) and give remote workers the same key"
+                )
+            auth_key = secrets.token_hex(32)
+        normalize_auth_key(auth_key)  # fail fast on empty/invalid keys
+        self.auth_key = auth_key
+        if not _is_loopback_host(host):
+            warnings.warn(
+                f"QueueExecutor is binding non-loopback {host!r}: the "
+                "work-queue protocol carries pickles and must only be "
+                "reachable by trusted workers holding the shared auth key; "
+                "prefer loopback plus SSH tunnels on shared networks",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self.journal = journal
         self.resume = resume
         self.heartbeat_s = heartbeat_s
@@ -206,6 +261,7 @@ class QueueExecutor(Executor):
         paths = existing.split(os.pathsep) if existing else []
         if src_root not in paths:
             env["PYTHONPATH"] = os.pathsep.join([src_root] + paths)
+        env[AUTH_ENV_VAR] = self.auth_key
         return env
 
     def _initial_args(self, worker_index: int) -> List[str]:
@@ -224,6 +280,9 @@ class QueueExecutor(Executor):
         held: Optional[str] = None  # chunk key currently leased to this conn
         try:
             conn.settimeout(max(1.0, 2 * self.lease_timeout_s))
+            # No pickle frame is parsed before the peer proves it holds the
+            # run's shared key; a failed challenge just drops the connection.
+            server_authenticate(conn, self.auth_key)
             while True:
                 message = recv_message(conn, max_frame_bytes=self.max_frame_bytes)
                 kind = message.get("type")
@@ -251,7 +310,13 @@ class QueueExecutor(Executor):
                     return
                 else:
                     raise QueueProtocolError(f"unexpected message type {kind!r}")
-        except (WorkerConnectionLost, QueueProtocolError, socket.timeout, OSError):
+        except (
+            WorkerConnectionLost,
+            QueueAuthError,
+            QueueProtocolError,
+            socket.timeout,
+            OSError,
+        ):
             pass
         finally:
             if held is not None:
@@ -265,8 +330,13 @@ class QueueExecutor(Executor):
 
     def _handle_request(self, conn, conn_id, state, run_job) -> Optional[str]:
         """Reply to a lease request; returns the leased key (if any)."""
+        # Snapshot before taking the lock: submit_jobs' finally block clears
+        # self._jobs after the run, and a straggler server thread must see
+        # either the full list or a clean "finished" answer, never a slice
+        # of None.
+        jobs = self._jobs
         with state.lock:
-            if state.done.is_set() or state.failure is not None:
+            if jobs is None or state.done.is_set() or state.failure is not None:
                 chunk = None
                 finished = True
             elif state.pending:
@@ -286,7 +356,7 @@ class QueueExecutor(Executor):
                     "type": "lease",
                     "key": chunk.key,
                     "index": chunk.index,
-                    "jobs": list(self._jobs[chunk.start : chunk.stop]),
+                    "jobs": list(jobs[chunk.start : chunk.stop]),
                     "run_job": run_job,
                     "heartbeat_s": self.heartbeat_s,
                 },

@@ -28,19 +28,31 @@ from __future__ import annotations
 import os
 import random
 import socket
+import sys
 import threading
 import time
 import traceback
 from typing import Optional, Tuple
 
-from repro.executor.errors import QueueProtocolError, WorkerConnectionLost
-from repro.executor.protocol import recv_message, send_message
+from repro.executor.errors import (
+    QueueAuthError,
+    QueueProtocolError,
+    WorkerConnectionLost,
+)
+from repro.executor.protocol import (
+    AUTH_ENV_VAR,
+    client_authenticate,
+    recv_message,
+    send_message,
+)
 
 #: Reconnect backoff: base * 2**(attempt-1), capped, plus up to 25% jitter.
 BACKOFF_BASE_S = 0.05
 BACKOFF_MAX_S = 2.0
 #: Exit code of a worker that gives up reconnecting.
 EXIT_NO_COORDINATOR = 3
+#: Exit code of a worker whose shared-key handshake failed (or had no key).
+EXIT_AUTH_FAILED = 4
 #: Exit code of an injected --fail-after-jobs death (asserted by tests).
 EXIT_INJECTED_FAULT = 17
 
@@ -134,30 +146,51 @@ def run_worker(
     port: int,
     *,
     worker_id: Optional[str] = None,
+    auth_key: Optional[str] = None,
     heartbeat_s: float = 0.5,
     max_connect_attempts: int = 8,
     fail_after_jobs: Optional[int] = None,
 ) -> int:
     """Worker main loop; returns a process exit code.
 
+    ``auth_key`` (default: the ``REPRO_QUEUE_AUTH`` environment variable,
+    which spawned local workers inherit from their coordinator) is the
+    shared secret for the mutual handshake — a worker without one exits
+    immediately with ``EXIT_AUTH_FAILED``, and one whose coordinator cannot
+    prove knowledge of the key refuses to execute its leases.
+
     Reconnects (with backoff) whenever the coordinator connection drops
     mid-run; exits ``0`` on a clean ``shutdown``, ``EXIT_NO_COORDINATOR``
     when the coordinator stays unreachable — which is also the normal end of
-    life for a worker that outlives its run.
+    life for a worker that outlives its run.  A coordinator that keeps
+    dropping the connection before ever welcoming us (e.g. it rejects our
+    key) is also bounded by ``max_connect_attempts``.
     """
     worker_id = worker_id or f"worker-{os.getpid()}"
+    if auth_key is None:
+        auth_key = os.environ.get(AUTH_ENV_VAR) or None
+    if auth_key is None:
+        print(
+            f"worker {worker_id}: no auth key — pass --auth-file or set "
+            f"{AUTH_ENV_VAR} to the coordinator's shared key",
+            file=sys.stderr,
+        )
+        return EXIT_AUTH_FAILED
     rng = random.Random(os.getpid())
     address = (host, port)
     fault_state = (
         {"executed": 0, "fail_after": fail_after_jobs} if fail_after_jobs else None
     )
+    failures_before_welcome = 0
     while True:
         try:
             sock = _connect(address, attempts=max_connect_attempts, rng=rng)
         except WorkerConnectionLost:
             return EXIT_NO_COORDINATOR
         send_lock = threading.Lock()
+        welcomed = False
         try:
+            client_authenticate(sock, auth_key)
             with send_lock:
                 send_message(sock, {"type": "hello", "worker": worker_id})
             welcome = recv_message(sock)
@@ -165,6 +198,8 @@ def run_worker(
                 raise QueueProtocolError(
                     f"expected welcome, got {welcome.get('type')!r}"
                 )
+            welcomed = True
+            failures_before_welcome = 0
             while True:
                 with send_lock:
                     send_message(sock, {"type": "request"})
@@ -178,9 +213,26 @@ def run_worker(
                     return 0
                 else:
                     raise QueueProtocolError(f"unexpected reply type {kind!r}")
+        except QueueAuthError as exc:
+            print(f"worker {worker_id}: {exc}", file=sys.stderr)
+            return EXIT_AUTH_FAILED
         except (WorkerConnectionLost, QueueProtocolError, socket.timeout, OSError):
             # Retryable: reconnect and ask again.  The coordinator's lease
-            # expiry + idempotency keys make the retry safe.
+            # expiry + idempotency keys make the retry safe.  But a peer
+            # that keeps hanging up before the handshake/welcome completes
+            # (it rejected our key, or is not a coordinator at all) will
+            # never improve — give up after the same bounded attempt count.
+            if not welcomed:
+                failures_before_welcome += 1
+                if failures_before_welcome >= max_connect_attempts:
+                    print(
+                        f"worker {worker_id}: coordinator at {host}:{port} "
+                        f"dropped {failures_before_welcome} consecutive "
+                        "connections before completing the handshake "
+                        "(auth key mismatch?)",
+                        file=sys.stderr,
+                    )
+                    return EXIT_AUTH_FAILED
             time.sleep(_backoff_delay(1, rng))
         except Exception:
             # _execute_lease already reported the traceback; the job failure

@@ -193,12 +193,35 @@ class Experiment(ABC):
     def accepted_run_options(self) -> List[str]:
         """Names of the extra keyword options this experiment's
         :meth:`build_jobs` accepts (empty for the default grid expansion;
-        ``["**anything"]`` when the override takes ``**kwargs``)."""
+        ``["**anything"]`` when the override takes ``**kwargs``).
+
+        The first two positional slots are the ``scale`` / ``scenarios``
+        arguments of the protocol; anything after them that can be passed
+        by keyword — ordinary defaulted parameters as well as
+        keyword-only ones — is an option (``base_seed`` excepted, since
+        :meth:`run` always forwards it explicitly).
+        """
         signature = inspect.signature(self.build_jobs)
         accepted: List[str] = []
+        positional_slots = 0
         for name, parameter in signature.parameters.items():
             if parameter.kind is inspect.Parameter.VAR_KEYWORD:
                 return ["**anything"]
+            if parameter.kind is inspect.Parameter.VAR_POSITIONAL:
+                continue
+            if parameter.kind in (
+                inspect.Parameter.POSITIONAL_ONLY,
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            ):
+                if positional_slots < 2:
+                    positional_slots += 1  # the scale / scenarios slots
+                    continue
+                if (
+                    parameter.kind is inspect.Parameter.POSITIONAL_OR_KEYWORD
+                    and name != "base_seed"
+                ):
+                    accepted.append(name)
+                continue
             if parameter.kind is inspect.Parameter.KEYWORD_ONLY and name != "base_seed":
                 accepted.append(name)
         return accepted

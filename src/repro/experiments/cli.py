@@ -13,9 +13,16 @@ serialise the results::
         --journal run.jsonl
     python -m repro.experiments figure5 --executor queue --resume run.jsonl \
         --journal run.jsonl                      # skip completed chunks
-    python -m repro.experiments --executor queue --serve 0.0.0.0:7070 \
-        --workers 0                              # lease to remote workers only
-    python -m repro.experiments --connect coordinator-host:7070  # attach worker
+    python -m repro.experiments figure5 --executor queue --workers 0 \
+        --serve 127.0.0.1:7070 --auth-file queue.key   # remote workers only
+    python -m repro.experiments --connect 127.0.0.1:7070 --auth-file queue.key
+
+Remote workers must hold the coordinator's shared auth key (``--auth-file``
+or the ``REPRO_QUEUE_AUTH`` environment variable): every connection passes
+an HMAC handshake before any frame is parsed, because the work-queue wire
+carries pickles.  Keep coordinators on loopback and reach them through SSH
+tunnels (``ssh -L 7070:127.0.0.1:7070 coordinator-host``); binding a
+non-loopback address requires an explicit key and warns.
 
 ``--mode`` is the deprecated spelling of ``--executor``.
 ``scripts/run_experiments.py`` is a thin wrapper around the same entry point.
@@ -93,8 +100,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="worker count: pool size for process/thread, spawned worker "
-        "subprocesses for queue (default: CPU count / 2; queue with "
+        help="worker count: pool size for process/thread (default: CPU "
+        "count / 2), spawned worker subprocesses for queue (default: 2; "
         "--workers 0 relies on externally attached workers)",
     )
     parser.add_argument(
@@ -103,7 +110,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="HOST:PORT",
         help="queue executor only: coordinator bind address (default "
-        "127.0.0.1 on a free port) — remote workers attach with --connect",
+        "127.0.0.1 on a free port) — remote workers attach with --connect; "
+        "non-loopback binds require --auth-file (the wire carries pickles)",
+    )
+    parser.add_argument(
+        "--auth-file",
+        default=None,
+        metavar="PATH",
+        help="file holding the work-queue shared auth key, used by both "
+        "--serve (coordinator) and --connect (worker); default: the "
+        "REPRO_QUEUE_AUTH environment variable, or an ephemeral key for "
+        "loopback-only runs",
     )
     parser.add_argument(
         "--connect",
@@ -167,12 +184,15 @@ def _build_executor(args):
     if name in (None, "serial"):
         return None
     if name == "queue":
+        from repro.executor.cli import load_auth_key
+
         host, port = args.serve if args.serve is not None else ("127.0.0.1", 0)
         return QueueExecutor(
             n_workers=2 if args.workers is None else args.workers,
             chunk_size=args.chunk_size,
             host=host,
             port=port,
+            auth_key=load_auth_key(args.auth_file) if args.auth_file else None,
             journal=args.journal,
             resume=args.resume,
         )
@@ -184,10 +204,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.connect is not None:
+        from repro.executor.cli import load_auth_key
         from repro.executor.worker import run_worker
 
         host, port = args.connect
-        return run_worker(host, port)
+        auth_key = load_auth_key(args.auth_file) if args.auth_file else None
+        return run_worker(host, port, auth_key=auth_key)
     if args.list:
         names = list_experiments()
         width = max(len(name) for name in names)

@@ -9,6 +9,7 @@ resumed from a truncated journal.
 
 import json
 import socket
+import threading
 
 import numpy as np
 import pytest
@@ -31,7 +32,7 @@ from repro.executor import (
 )
 from repro.executor.journal import result_from_wire, result_to_wire
 from repro.experiments import ExperimentScale, ParallelRunner
-from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.registry import get_experiment, list_experiments, run_experiments
 from repro.experiments.scenario import ScenarioSpec, resolve_scenarios
 from repro.experiments.sweep import SweepSpec
 from repro.utils.results import RunResult
@@ -423,6 +424,151 @@ class TestFaultInjectionAndResume:
             executor.submit_jobs(broken, run_job=None)
 
 
+# ------------------------------------------------------------ authentication
+
+
+class TestAuth:
+    """No pickle frame crosses the wire before the mutual HMAC handshake."""
+
+    def _handshake(self, server_key, client_key):
+        from repro.executor.protocol import client_authenticate, server_authenticate
+
+        server_sock, client_sock = socket.socketpair()
+        server_sock.settimeout(5.0)
+        client_sock.settimeout(5.0)
+        outcome = {}
+
+        def serve():
+            try:
+                server_authenticate(server_sock, server_key)
+                outcome["server"] = "ok"
+            except Exception as exc:
+                outcome["server"] = exc
+            finally:
+                server_sock.close()  # unblocks a client the server rejected
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        try:
+            client_authenticate(client_sock, client_key)
+            outcome["client"] = "ok"
+        except Exception as exc:
+            outcome["client"] = exc
+        thread.join(timeout=5.0)
+        client_sock.close()
+        return outcome
+
+    def test_matching_keys_pass_both_directions(self):
+        outcome = self._handshake("shared-secret", "shared-secret")
+        assert outcome == {"server": "ok", "client": "ok"}
+
+    def test_wrong_key_is_rejected(self):
+        from repro.executor import QueueAuthError
+
+        outcome = self._handshake("right-key", "wrong-key")
+        assert isinstance(outcome["server"], QueueAuthError)
+        assert outcome["client"] != "ok"
+
+    def test_worker_rejects_coordinator_that_cannot_prove_key(self):
+        """A rogue coordinator that replays the challenge format but cannot
+        produce the key-derived proof must not receive obedience."""
+        from repro.executor import QueueAuthError
+        from repro.executor.protocol import AUTH_MAGIC, PROTOCOL_VERSION
+
+        rogue_sock, worker_sock = socket.socketpair()
+        rogue_sock.settimeout(5.0)
+        worker_sock.settimeout(5.0)
+
+        def rogue():
+            try:
+                rogue_sock.sendall(AUTH_MAGIC + bytes([PROTOCOL_VERSION]) + b"\x00" * 32)
+                rogue_sock.recv(1024)  # the worker's answer, useless without the key
+                rogue_sock.sendall(b"\x00" * 32)  # forged proof
+            except OSError:
+                pass
+            finally:
+                rogue_sock.close()
+
+        thread = threading.Thread(target=rogue)
+        thread.start()
+        try:
+            from repro.executor.protocol import client_authenticate
+
+            with pytest.raises(QueueAuthError, match="prove knowledge"):
+                client_authenticate(worker_sock, "the-real-key")
+        finally:
+            thread.join(timeout=5.0)
+            worker_sock.close()
+
+    def test_non_loopback_bind_requires_explicit_key(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUEUE_AUTH", raising=False)
+        with pytest.raises(ValueError, match="auth key"):
+            QueueExecutor(n_workers=0, host="0.0.0.0")
+        with pytest.warns(RuntimeWarning, match="non-loopback"):
+            QueueExecutor(n_workers=0, host="0.0.0.0", auth_key="explicit-key")
+
+    def test_loopback_bind_generates_ephemeral_key(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUEUE_AUTH", raising=False)
+        first = QueueExecutor(n_workers=0)
+        second = QueueExecutor(n_workers=0)
+        assert first.auth_key and second.auth_key
+        assert first.auth_key != second.auth_key
+
+    def test_worker_without_key_exits_immediately(self, monkeypatch):
+        from repro.executor.worker import EXIT_AUTH_FAILED, run_worker
+
+        monkeypatch.delenv("REPRO_QUEUE_AUTH", raising=False)
+        code = run_worker("127.0.0.1", 1, max_connect_attempts=1)
+        assert code == EXIT_AUTH_FAILED
+
+
+# ------------------------------------------- multi-experiment journal scoping
+
+
+class TestMultiExperimentJournals:
+    def test_run_experiments_scopes_journal_per_experiment(self, tiny_scale, tmp_path):
+        """One --journal/--resume path shared by several experiments must
+        derive per-experiment files instead of truncating the first
+        experiment's journal and aborting the second with a fingerprint
+        mismatch."""
+        journal = tmp_path / "run.jsonl"
+        executor = QueueExecutor(
+            n_workers=2, chunk_size=2, journal=journal, spawn_timeout_s=QUEUE_TIMEOUT_S
+        )
+        run_experiments(
+            ["figure3", "table1"],
+            tiny_scale,
+            executor=executor,
+            scenarios=["paper/mnist-linear"],
+        )
+        assert (tmp_path / "run.figure3.jsonl").exists()
+        assert (tmp_path / "run.table1.jsonl").exists()
+        assert not journal.exists()
+        # the executor's own paths are restored after the run
+        assert executor.journal == journal
+        assert executor.resume is None
+
+        # resuming through the same base path replays each experiment's own
+        # derived journal: nothing re-runs
+        resumed = QueueExecutor(
+            n_workers=2,
+            chunk_size=2,
+            journal=journal,
+            resume=journal,
+            spawn_timeout_s=QUEUE_TIMEOUT_S,
+        )
+        run_experiments(
+            ["figure3", "table1"],
+            tiny_scale,
+            executor=resumed,
+            scenarios=["paper/mnist-linear"],
+        )
+        stats = resumed.stats  # stats of the last experiment's grid
+        assert stats["chunks_resumed"] == stats["chunks_total"]
+        assert stats["chunks_executed"] == 0
+        assert stats["workers_spawned"] == 0
+
+
 # -------------------------------------------------------------- worker CLI
 
 
@@ -441,7 +587,9 @@ class TestWorkerCLI:
         with socket.socket() as probe:
             probe.bind(("127.0.0.1", 0))
             free_port = probe.getsockname()[1]
-        code = run_worker("127.0.0.1", free_port, max_connect_attempts=1)
+        code = run_worker(
+            "127.0.0.1", free_port, auth_key="test-key", max_connect_attempts=1
+        )
         assert code == EXIT_NO_COORDINATOR
 
     def test_experiments_cli_exposes_executor_flags(self):

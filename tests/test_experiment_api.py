@@ -405,6 +405,30 @@ class TestRunExperimentsEndToEnd:
         ):
             get_experiment("figure5").run(fast_scale, attack_stregth=0.3)
 
+    def test_positional_or_keyword_options_are_accepted(self):
+        """An override may declare an option as an ordinary defaulted
+        parameter (positional-or-keyword) instead of keyword-only; the
+        run() boundary must accept it, since build_jobs itself would."""
+
+        class _PosOpt(Experiment):
+            name = "pos-opt"
+
+            def build_jobs(self, scale, scenarios, n_points=5, *, base_seed=0):
+                return super().build_jobs(scale, scenarios, base_seed=base_seed)
+
+            @staticmethod
+            def run_job(job):
+                raise NotImplementedError
+
+            def assemble(self, scale, scenarios, jobs, results):
+                raise NotImplementedError
+
+        experiment = _PosOpt()
+        assert experiment.accepted_run_options() == ["n_points"]
+        experiment._validate_run_options({"n_points": 3})  # must not raise
+        with pytest.raises(ValueError, match=r"unknown run\(\) options.*n_poitns"):
+            experiment._validate_run_options({"n_poitns": 3})
+
     def test_execute_job_attaches_metadata(self, fast_scale):
         job = get_experiment("figure3").build_jobs(
             fast_scale, resolve_scenarios(["paper/mnist-softmax"]), base_seed=0
