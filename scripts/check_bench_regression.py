@@ -15,6 +15,7 @@ non-zero when any gate fails::
                                              [--min-net-speedup 1.3]
                                              [--min-backend-ratio 0.95]
                                              [--min-executor-speedup 0.15]
+                                             [--max-tenant-overhead 1.5]
 
 ``--tolerance`` applies a uniform fractional slack to every threshold
 (speedup floors become ``floor * (1 - t)``, ratio ceilings become
@@ -66,6 +67,12 @@ Gated sections:
   ``--min-executor-speedup`` (default 0.15 — a single-core overhead floor;
   the queue pays worker interpreter spawn + framing on a smoke-scale grid,
   so one core cannot beat serial; the gate only catches runaway overhead).
+* ``bench_tenant`` — the tenant-placement policies: partitioned responses
+  must have been verified bit-identical to direct seeded queries, no
+  partitioned tick may have mixed tenants, per-tenant groups must still
+  coalesce (factor > 1), and the partitioned wall time must stay within
+  ``--max-tenant-overhead`` (default 1.5x) of the shared placement on the
+  two-tenant workload.
 
 Sections other than ``engine`` are only checked when present, so a partial
 benchmark run stays usable; ``engine`` is always required.
@@ -90,6 +97,7 @@ DEFAULT_THRESHOLDS = {
     "min_net_speedup": 1.3,
     "min_backend_ratio": 0.95,
     "min_executor_speedup": 0.15,
+    "max_tenant_overhead": 1.5,
 }
 
 
@@ -136,6 +144,7 @@ def check_results(
     min_net_speedup = thresholds["min_net_speedup"]
     min_backend_ratio = thresholds["min_backend_ratio"]
     min_executor_speedup = thresholds["min_executor_speedup"]
+    max_tenant_overhead = thresholds["max_tenant_overhead"]
 
     failures: list[str] = []
     failures.extend(_check_probing_section(results, min_probing_speedup))
@@ -146,6 +155,7 @@ def check_results(
     failures.extend(_check_service_section(results, min_service_speedup))
     failures.extend(_check_netservice_section(results, min_net_speedup))
     failures.extend(_check_executor_section(results, min_executor_speedup))
+    failures.extend(_check_tenant_section(results, max_tenant_overhead))
     engine = results.get("engine")
     if engine is None:
         return failures + [
@@ -453,6 +463,54 @@ def _check_executor_section(results: dict, min_executor_speedup: float) -> list[
     return failures
 
 
+def _check_tenant_section(results: dict, max_tenant_overhead: float) -> list[str]:
+    """Gate the placement timings recorded by benchmarks/bench_tenant.py."""
+    payload = results.get("bench_tenant")
+    if payload is None:
+        return []
+    failures: list[str] = []
+    if payload.get("responses_identical") is not True:
+        failures.append(
+            "bench_tenant: partitioned responses were not verified "
+            "bit-identical to direct seeded queries"
+        )
+    rows = {
+        row.get("placement"): row for row in payload.get("placements", [])
+    }
+    for placement in ("shared", "partitioned"):
+        row = rows.get(placement)
+        if row is None:
+            failures.append(f"bench_tenant recorded no {placement!r} placement row")
+            continue
+        elapsed = row.get("elapsed_s")
+        if not isinstance(elapsed, (int, float)) or elapsed <= 0:
+            failures.append(
+                f"bench_tenant {placement!r} has no positive 'elapsed_s' wall time"
+            )
+    partitioned = rows.get("partitioned")
+    if partitioned is not None:
+        if partitioned.get("mixed_ticks") != 0:
+            failures.append(
+                "bench_tenant: partitioned placement mixed tenants in "
+                f"{partitioned.get('mixed_ticks')!r} tick(s) — isolation broke"
+            )
+        factor = partitioned.get("coalescing_factor")
+        if isinstance(factor, (int, float)) and factor <= 1.0:
+            failures.append(
+                "bench_tenant: partitioned placement stopped coalescing "
+                f"(per-tenant factor {factor:.2f} <= 1)"
+            )
+    overhead = payload.get("partitioned_overhead")
+    if not isinstance(overhead, (int, float)):
+        failures.append("bench_tenant recorded no 'partitioned_overhead' ratio")
+    elif overhead > max_tenant_overhead:
+        failures.append(
+            f"partitioned placement costs {overhead:.2f}x the shared wall "
+            f"time (gate {max_tenant_overhead:.2f}x)"
+        )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--path", type=Path, default=DEFAULT_PATH)
@@ -507,6 +565,11 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=DEFAULT_THRESHOLDS["min_executor_speedup"],
     )
+    parser.add_argument(
+        "--max-tenant-overhead",
+        type=float,
+        default=DEFAULT_THRESHOLDS["max_tenant_overhead"],
+    )
     args = parser.parse_args(argv)
     if args.tolerance < 0:
         parser.error("--tolerance must be >= 0")
@@ -520,6 +583,7 @@ def main(argv: list[str] | None = None) -> int:
         "min_net_speedup": args.min_net_speedup,
         "min_backend_ratio": args.min_backend_ratio,
         "min_executor_speedup": args.min_executor_speedup,
+        "max_tenant_overhead": args.max_tenant_overhead,
     }
 
     if not args.path.exists():

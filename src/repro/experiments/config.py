@@ -231,6 +231,32 @@ SERVICE_PRESET_CONFIGS: Dict[str, Tuple[str, int, float]] = {
 }
 
 
+#: Multi-tenant co-residency presets registered as ``tenant-*`` scenarios:
+#: ``name -> (placement, max_batch, noise_budget, sharding geometry)`` with
+#: the geometry a ``(row_shards, col_shards, reduction)`` tuple or ``None``
+#: (single tile per layer).  Kept here as plain data so the shipped isolation
+#: policies are configuration, not scenario-module code;
+#: :mod:`repro.experiments.scenario` attaches a
+#: :class:`~repro.service.config.ServiceConfig` (and, for the tile-isolated
+#: policy, a :class:`~repro.crossbar.mapping.ShardingSpec` modelling the
+#: per-tenant tile banks) to the paper base preset.  All four share one
+#: ``max_batch`` so the cross-tenant-attack experiment compares placement
+#: policies at equal batching capacity:
+#:
+#: * ``tenant-shared`` — the status-quo coalescer: strangers share rails.
+#: * ``tenant-partitioned`` — per-tenant ticks on the shared rail.
+#: * ``tenant-tile-isolated`` — per-tenant ticks on per-tenant tile banks
+#:   (electrically disjoint rails).
+#: * ``tenant-noise-budget`` — shared placement with the per-tick dummy-draw
+#:   rail defence armed.
+TENANT_PRESET_CONFIGS: Dict[str, Tuple[str, int, float, object]] = {
+    "tenant-shared": ("shared", 8, 0.0, None),
+    "tenant-partitioned": ("partitioned", 8, 0.0, None),
+    "tenant-tile-isolated": ("tile-isolated", 8, 0.0, (1, 2, "sequential")),
+    "tenant-noise-budget": ("shared", 8, 4.0, None),
+}
+
+
 #: Networked-front-end presets consumed by
 #: :func:`repro.netservice.config.get_netservice_preset`:
 #: ``name -> (max_batch, max_wait_ms, tenants)`` with ``tenants`` a tuple of
@@ -259,6 +285,30 @@ NETSERVICE_PRESET_CONFIGS: Dict[
 #: single-tile placement); ``None`` in the ADC grid is the ideal continuous
 #: instrument.  Grids are ordered from the most degraded setting to the most
 #: faithful one, so a healthy leakage curve rises left to right.
+#: Cross-tenant isolation sweeps registered as ``sweep-tenant-*``
+#: experiments by :mod:`repro.experiments.cross_tenant`: same
+#: ``name -> (base scenario preset, knob path, value grid)`` shape as
+#: :data:`SWEEP_PRESET_GRIDS`, but each grid point runs the co-resident
+#: attack instead of the direct probing pipeline, so the curves report
+#: attack advantage against the isolation knob.  Grids are ordered from the
+#: most defended setting to the most exposed one, so a leaking curve rises
+#: left to right: coarser per-tenant coalescing (larger ``max_batch``)
+#: aggregates more victim rows per rail equation, and a larger
+#: ``noise_budget`` jams every equation harder.
+TENANT_SWEEP_GRIDS: Dict[str, Tuple[str, str, Tuple[object, ...]]] = {
+    "sweep-tenant-coalescing": (
+        "tenant-partitioned",
+        "service.max_batch",
+        (32, 16, 8, 4, 2),
+    ),
+    "sweep-tenant-noise-budget": (
+        "tenant-shared",
+        "service.noise_budget",
+        (16.0, 8.0, 4.0, 2.0, 0.0),
+    ),
+}
+
+
 SWEEP_PRESET_GRIDS: Dict[str, Tuple[str, str, Tuple[object, ...]]] = {
     "sweep-adc-bits": (
         "paper/mnist-softmax",

@@ -28,6 +28,7 @@ _BUILTIN_MODULES = (
     "repro.experiments.figure5",
     "repro.experiments.sweep",
     "repro.experiments.service_demo",
+    "repro.experiments.cross_tenant",
 )
 
 

@@ -32,6 +32,7 @@ from repro.experiments.config import (
     PAPER_CONFIGURATIONS,
     SERVICE_PRESET_CONFIGS,
     SHARD_PRESET_GEOMETRIES,
+    TENANT_PRESET_CONFIGS,
 )
 from repro.nn.metrics import accuracy
 from repro.service.config import ServiceConfig
@@ -540,6 +541,50 @@ for _name, (_base, _max_batch, _max_wait_ms) in SERVICE_PRESET_CONFIGS.items():
                 f"{_base_spec.description or _base} with queries coalesced by "
                 f"the async service (max_batch={_max_batch}, "
                 f"max_wait_ms={_max_wait_ms:g})"
+            ),
+        )
+    )
+
+
+# Multi-tenant co-residency presets: the paper's MNIST softmax victim served
+# through the coalescing service under each tick-placement / isolation
+# policy.  These are what the cross-tenant-attack experiment compares; the
+# policy data lives in config.TENANT_PRESET_CONFIGS.
+for _name, (_placement, _max_batch, _noise_budget, _geometry) in (
+    TENANT_PRESET_CONFIGS.items()
+):
+    _base_spec = SCENARIOS["paper/mnist-softmax"]
+    register_scenario(
+        _base_spec.with_overrides(
+            name=_name,
+            service=ServiceConfig(
+                max_batch=_max_batch,
+                # A generous hold keeps one drain round spanning a whole
+                # two-tenant burst; dispatch-early still fires the moment
+                # the offered load is fully coalesced, so idle latency is
+                # unaffected.
+                max_wait_ms=20.0,
+                placement=_placement,
+                noise_budget=_noise_budget,
+            ),
+            sharding=(
+                None
+                if _geometry is None
+                else ShardingSpec(
+                    row_shards=_geometry[0],
+                    col_shards=_geometry[1],
+                    reduction=_geometry[2],
+                )
+            ),
+            description=(
+                f"Multi-tenant coalescing with {_placement!r} tick placement"
+                + (f", noise budget {_noise_budget:g}" if _noise_budget else "")
+                + (
+                    f", layers sharded {_geometry[0]}x{_geometry[1]} into "
+                    "per-tenant tile banks"
+                    if _geometry is not None
+                    else ""
+                )
             ),
         )
     )

@@ -300,6 +300,11 @@ class SweepExperiment(Experiment):
     setup.
     """
 
+    #: Metric assembled into the ``advantage_mean``/``advantage_std`` curve.
+    #: Subclasses whose jobs measure a different notion of attacker advantage
+    #: (e.g. the cross-tenant targeting advantage) override this.
+    advantage_metric = "single_pixel_attack_advantage"
+
     def __init__(self, spec: SweepSpec, *, description: str = ""):
         self.spec = spec
         self.name = spec.name
@@ -394,9 +399,7 @@ class SweepExperiment(Experiment):
         curves = []
         for base_name, cells in per_base.items():
             leakage_mean, leakage_std = curve(cells, "leakage_correlation")
-            advantage_mean, advantage_std = curve(
-                cells, "single_pixel_attack_advantage"
-            )
+            advantage_mean, advantage_std = curve(cells, self.advantage_metric)
             accuracy_mean, _ = curve(cells, "clean_test_accuracy")
             curves.append(
                 {

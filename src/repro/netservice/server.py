@@ -81,6 +81,7 @@ class TenantServiceStats:
     tenant: str
     weight: float
     query_budget: Optional[int] = None
+    n_received: int = 0
     n_requests: int = 0
     n_deduped: int = 0
     rows_served: int = 0
@@ -93,7 +94,21 @@ class TenantServiceStats:
 
     @property
     def coalescing_factor(self) -> float:
-        return self.n_requests / self.n_ticks if self.tick_ids else 0.0
+        """Requests amortised per distinct fused tick the tenant joined.
+
+        Only *dispatched* requests count: idempotency dedup hits
+        (``n_deduped``) are answered from cache or an in-flight future and
+        never join a tick, so including them would inflate the factor
+        exactly when clients retry.  A tenant that has received requests
+        but has no successful tick yet (every dispatch failed, or all are
+        still queued) reports ``nan`` — "no traversal to amortise over" —
+        rather than a misleading ``0.0``.
+        """
+        if self.n_ticks:
+            return self.n_requests / self.n_ticks
+        if self.n_received:
+            return float("nan")
+        return 0.0
 
     @property
     def budget_remaining(self) -> Optional[int]:
@@ -106,6 +121,7 @@ class TenantServiceStats:
             "tenant": self.tenant,
             "weight": self.weight,
             "query_budget": self.query_budget,
+            "n_received": self.n_received,
             "n_requests": self.n_requests,
             "n_deduped": self.n_deduped,
             "rows_served": self.rows_served,
@@ -388,8 +404,13 @@ class NetworkQueryService:
                 )
             state.stats.rows_charged += request.rows
             charged = True
+            # The tenant identity rides into the coalescer with the request,
+            # so the tick-placement policy and the rail ledger see *who*
+            # submitted every row — not just that some row arrived.
             request_id, result = await self.service.submit_traced(
-                request.inputs, on_dispatch=state.stats.tick_ids.add
+                request.inputs,
+                on_dispatch=state.stats.tick_ids.add,
+                tenant=state.policy.name,
             )
             state.stats.n_requests += 1
             state.stats.rows_served += request.rows
@@ -462,6 +483,7 @@ class NetworkQueryService:
             return cached
         pending = state.inflight.get(key)
         if pending is None:
+            state.stats.n_received += 1
             pending = asyncio.get_running_loop().create_future()
             state.inflight[key] = pending
             state.queue.append(

@@ -25,12 +25,13 @@ coalesced, or through the synchronous path (see
 :meth:`QueryService.seeds_for`).
 """
 
-from repro.service.config import ServiceConfig
+from repro.service.config import PLACEMENT_POLICIES, ServiceConfig
 from repro.service.coalescer import (
     MeasurementBackend,
     OracleBackend,
     QueryService,
     ServiceStats,
+    TickTrace,
     resolve_backend,
 )
 from repro.service.errors import ServiceClosedError
@@ -41,9 +42,11 @@ __all__ = [
     "BatchingOracle",
     "MeasurementBackend",
     "OracleBackend",
+    "PLACEMENT_POLICIES",
     "QueryService",
     "ServiceClosedError",
     "ServiceConfig",
     "ServiceStats",
+    "TickTrace",
     "resolve_backend",
 ]

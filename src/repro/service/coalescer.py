@@ -21,18 +21,35 @@ Error semantics are those of a shared bus: if the fused traversal fails (bad
 input width, an exhausted query budget), the whole tick fails and every
 coalesced request receives the exception; nothing is charged against the
 budget (both backends charge only after a successful traversal).
+
+Multi-tenant placement: requests may carry a *tenant* identity
+(:meth:`QueryService.submit_traced`), and the
+:attr:`~repro.service.config.ServiceConfig.placement` policy decides whether
+rows from different tenants may share a fused traversal.  Each dispatched
+tick also appends a :class:`TickTrace` to :attr:`QueryService.tick_trace` —
+the *physical* rail observable (total supply current of the whole fused
+batch, optionally jammed by the ``noise_budget`` dummy draw) that a
+co-resident attacker probing the shared power rail would record.  The ledger
+is a side channel by construction: it never feeds back into any response, so
+tenant-facing results stay bit-identical under every policy.
 """
 
 from __future__ import annotations
 
 import asyncio
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.service.config import ServiceConfig
-from repro.utils.rng import derive_request_seeds
+from repro.utils.rng import derive_request_seeds, sample_stream
+
+#: Stream-path domain tag for the rail ledger's dummy-draw (noise-budget)
+#: defence.  Distinct from the oracle (2), instrument (3) and averaging (5)
+#: domains, so the ledger noise never collides with any response-path draw.
+_RAIL_DOMAIN = 7
 
 
 class OracleBackend:
@@ -64,6 +81,20 @@ class OracleBackend:
             metadata=dict(fused.metadata),
         )
 
+    def rail_currents(self, fused) -> Optional[np.ndarray]:
+        """Per-row total currents of the fused traversal (rail observable)."""
+        return None if fused.power is None else np.asarray(fused.power, dtype=float)
+
+    def per_tile_currents(self, fused) -> Optional[np.ndarray]:
+        """``(B, n_tiles)`` per-rail currents when the oracle exposes them."""
+        if fused.per_tile_power is None:
+            return None
+        return np.asarray(fused.per_tile_power, dtype=float)
+
+    def tile_labels(self, fused) -> Optional[Tuple[str, ...]]:
+        labels = fused.metadata.get("tile_labels")
+        return None if labels is None else tuple(labels)
+
     @property
     def queries_used(self) -> int:
         return self.oracle.queries_used
@@ -82,6 +113,16 @@ class MeasurementBackend:
 
     def slice(self, fused, lo: int, hi: int):
         return fused[lo:hi]
+
+    def rail_currents(self, fused) -> Optional[np.ndarray]:
+        """The measured readings *are* the rail currents here."""
+        return np.asarray(fused, dtype=float)
+
+    def per_tile_currents(self, fused) -> Optional[np.ndarray]:
+        return None
+
+    def tile_labels(self, fused) -> Optional[Tuple[str, ...]]:
+        return None
 
     @property
     def queries_used(self) -> int:
@@ -105,12 +146,20 @@ def resolve_backend(target):
 
 @dataclass
 class ServiceStats:
-    """Coalescing effectiveness counters, updated per dispatched tick."""
+    """Coalescing effectiveness counters, updated per dispatched tick.
+
+    ``n_dropped_requests`` counts submitted requests whose future was
+    already resolved when their tick dispatched (client timeout or
+    cancellation): their rows never reach the backend, so without the
+    counter a cancelled batch-mate would silently skew every
+    fairness/coalescing assertion built on these stats.
+    """
 
     n_requests: int = 0
     n_rows: int = 0
     n_ticks: int = 0
     n_failed_ticks: int = 0
+    n_dropped_requests: int = 0
     max_tick_rows: int = 0
 
     @property
@@ -129,10 +178,63 @@ class ServiceStats:
             "n_rows": self.n_rows,
             "n_ticks": self.n_ticks,
             "n_failed_ticks": self.n_failed_ticks,
+            "n_dropped_requests": self.n_dropped_requests,
             "max_tick_rows": self.max_tick_rows,
             "mean_tick_rows": self.mean_tick_rows,
             "coalescing_factor": self.coalescing_factor,
         }
+
+
+@dataclass(frozen=True)
+class TickTrace:
+    """The physical rail observable of one dispatched tick.
+
+    What a co-resident attacker with a probe on the supply rail records
+    while the fused traversal runs: the tick's identity, which tenants'
+    rows it carried (and how many), and the aggregate currents.  The trace
+    is *not* part of any response — it models the analogue side channel the
+    coalescing service creates when strangers share a traversal.
+
+    Attributes
+    ----------
+    tick_id:
+        1-based tick index (the same value ``on_dispatch`` observers see).
+    tenants:
+        Tenant names with rows in this tick, in batch order (anonymous
+        submissions appear as ``None``).
+    tenant_rows:
+        Rows contributed per tenant, keyed like :attr:`tenants`.
+    rows:
+        Total fused rows.
+    rail_power:
+        Tick total supply current — the sum of every batch-mate's per-row
+        total current, plus the ``noise_budget`` dummy draw when the
+        isolation defence is armed.  ``None`` when the backend exposes no
+        power observable.
+    per_tile_power:
+        ``(n_tiles,)`` summed per-rail currents over the tick's rows (plus
+        per-rail dummy draws), when the backend exposes per-tile power.
+    tile_labels:
+        Physical tile labels for :attr:`per_tile_power` columns.
+    bank:
+        Physical tile bank the tick ran on.  ``None`` = the shared bank
+        (every co-resident tenant's probe sees the tick); a tenant name
+        under ``tile-isolated`` placement, where each tenant's ticks run on
+        its own bank with an electrically disjoint supply rail.
+    """
+
+    tick_id: int
+    tenants: Tuple[Optional[str], ...]
+    tenant_rows: Dict[Optional[str], int]
+    rows: int
+    rail_power: Optional[float]
+    per_tile_power: Optional[np.ndarray] = None
+    tile_labels: Optional[Tuple[str, ...]] = None
+    bank: Optional[str] = None
+
+    def visible_to(self, tenant: Optional[str]) -> bool:
+        """Whether ``tenant``'s physical probe can observe this tick's rail."""
+        return self.bank is None or self.bank == tenant
 
 
 @dataclass(repr=False)
@@ -146,6 +248,9 @@ class _Pending:
     #: served in — the hook the networked front-end uses for per-tenant
     #: coalescing statistics.  Called only on a successful dispatch.
     on_dispatch: Optional[Any] = None
+    #: Tenant identity used by the placement policy and the rail ledger
+    #: (``None`` = anonymous in-process submitter).
+    tenant: Optional[str] = None
 
     def __repr__(self) -> str:
         # Deliberately compact: asyncio renders pending items into task/
@@ -181,6 +286,9 @@ class QueryService:
         self.backend = resolve_backend(target)
         self.config = config if config is not None else ServiceConfig()
         self.stats = ServiceStats()
+        #: Per-tick physical rail observables (:class:`TickTrace`), in
+        #: dispatch order — what a co-resident attacker's rail probe records.
+        self.tick_trace: List[TickTrace] = []
         self._queue: Optional[asyncio.Queue] = None
         self._worker: Optional[asyncio.Task] = None
         self._request_counter = 0
@@ -224,7 +332,7 @@ class QueryService:
                     tick.append(self._queue.get_nowait())
                 except asyncio.QueueEmpty:
                     break
-            self._dispatch(tick)
+            self._dispatch_batch(tick)
 
     async def __aenter__(self) -> "QueryService":
         return await self.start()
@@ -255,7 +363,9 @@ class QueryService:
         _, response = await self.submit_traced(inputs)
         return response
 
-    async def submit_traced(self, inputs: np.ndarray, *, on_dispatch=None):
+    async def submit_traced(
+        self, inputs: np.ndarray, *, on_dispatch=None, tenant: Optional[str] = None
+    ):
         """Like :meth:`submit`, returning ``(request_id, response)``.
 
         The sequence number is what the response's noise seeds were derived
@@ -264,6 +374,9 @@ class QueryService:
         wire responses against direct seeded queries — must observe it.
         ``on_dispatch``, when given, is called with the 1-based index of the
         tick that served the request (successful dispatches only).
+        ``tenant`` names the submitting tenant for the placement policy and
+        the rail ledger; it never affects the response itself (seeds depend
+        only on the sequence number, so tenancy preserves bit-identity).
         """
         if not self.started:
             await self.start()
@@ -274,47 +387,130 @@ class QueryService:
         self._request_counter += 1
         seeds = self.seeds_for(request_id, len(inputs))
         future = asyncio.get_running_loop().create_future()
-        await self._queue.put(_Pending(inputs, seeds, future, on_dispatch))
+        await self._queue.put(_Pending(inputs, seeds, future, on_dispatch, tenant))
         return request_id, await future
 
     # ------------------------------------------------------------- dispatch
 
     async def _run(self) -> None:
         loop = asyncio.get_running_loop()
+        if self.config.placement == "shared":
+            while True:
+                await self._coalesce_shared(loop)
         while True:
-            first = await self._queue.get()
-            tick = [first]
-            rows = len(first.inputs)
-            deadline = loop.time() + self.config.max_wait_ms / 1000.0
-            try:
-                while rows < self.config.max_batch:
-                    # Greedily drain whatever is already queued.  When the
-                    # queue runs dry, give the scheduler one pass so every
-                    # ready submitter can enqueue; if that pass produces
-                    # nothing new the offered load is fully coalesced —
-                    # dispatch immediately rather than idling out the
-                    # deadline (which only bounds genuinely trickling
-                    # arrivals, e.g. cross-thread submitters).
-                    try:
-                        pending = self._queue.get_nowait()
-                    except asyncio.QueueEmpty:
-                        if loop.time() >= deadline:
-                            break
-                        await asyncio.sleep(0)
-                        if self._queue.empty():
-                            break
-                        continue
-                    tick.append(pending)
-                    rows += len(pending.inputs)
-            except asyncio.CancelledError:
-                # Never strand a held-open tick on shutdown.
-                self._dispatch(tick)
-                raise
+            await self._coalesce_grouped(loop)
+
+    async def _coalesce_shared(self, loop) -> None:
+        """One shared-placement round: a single mixed tick of a whole drain."""
+        first = await self._queue.get()
+        tick = [first]
+        rows = len(first.inputs)
+        deadline = loop.time() + self.config.max_wait_ms / 1000.0
+        try:
+            while rows < self.config.max_batch:
+                # Greedily drain whatever is already queued.  When the
+                # queue runs dry, give the scheduler one pass so every
+                # ready submitter can enqueue; if that pass produces
+                # nothing new the offered load is fully coalesced —
+                # dispatch immediately rather than idling out the
+                # deadline (which only bounds genuinely trickling
+                # arrivals, e.g. cross-thread submitters).
+                try:
+                    pending = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    if loop.time() >= deadline:
+                        break
+                    await asyncio.sleep(0)
+                    if self._queue.empty():
+                        break
+                    continue
+                tick.append(pending)
+                rows += len(pending.inputs)
+        except asyncio.CancelledError:
+            # Never strand a held-open tick on shutdown.
             self._dispatch(tick)
+            raise
+        self._dispatch(tick)
+
+    async def _coalesce_grouped(self, loop) -> None:
+        """One tenant-grouped round (``partitioned`` / ``tile-isolated``).
+
+        Rows accumulate into per-tenant groups; the ``max_batch`` budget
+        applies *per group*, and a group that fills dispatches immediately
+        as its own tick while the other tenants' groups keep coalescing.
+        This keeps same-tenant rows riding together under interleaved
+        arrivals: a tenant flooding the service cannot force another
+        tenant's rows to dispatch in small, fine-grained ticks — its own
+        full groups peel off instead.  The drain-round semantics (greedy
+        drain, dispatch-early when the offered load is fully coalesced,
+        ``max_wait_ms`` bounding trickling arrivals) match the shared path.
+        """
+        first = await self._queue.get()
+        groups: "OrderedDict[Optional[str], List[_Pending]]" = OrderedDict()
+        group_rows: Dict[Optional[str], int] = {}
+
+        def absorb(pending: _Pending) -> None:
+            key = pending.tenant
+            groups.setdefault(key, []).append(pending)
+            group_rows[key] = group_rows.get(key, 0) + len(pending.inputs)
+            if group_rows[key] >= self.config.max_batch:
+                self._dispatch(groups.pop(key))
+                del group_rows[key]
+
+        absorb(first)
+        deadline = loop.time() + self.config.max_wait_ms / 1000.0
+        try:
+            while True:
+                try:
+                    pending = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    if loop.time() >= deadline:
+                        break
+                    await asyncio.sleep(0)
+                    if self._queue.empty():
+                        break
+                    continue
+                absorb(pending)
+        except asyncio.CancelledError:
+            # Never strand held-open groups on shutdown.
+            for group in groups.values():
+                self._dispatch(group)
+            raise
+        for group in groups.values():
+            self._dispatch(group)
+
+    def _dispatch_batch(self, batch: List[_Pending]) -> None:
+        """Apply the placement policy to one drained round of requests.
+
+        ``shared`` dispatches the round as a single mixed tick (status quo).
+        ``partitioned`` / ``tile-isolated`` group the round by tenant —
+        first-arrival order, each group a tick of its own — so a fused
+        traversal never carries rows from two tenants.  Groups other than
+        the one that filled its ``max_batch`` budget may dispatch under-full
+        (the same dispatch-early semantics the shared policy applies to a
+        whole round).
+        """
+        if self.config.placement == "shared":
+            self._dispatch(batch)
+            return
+        groups: "OrderedDict[Optional[str], List[_Pending]]" = OrderedDict()
+        for pending in batch:
+            groups.setdefault(pending.tenant, []).append(pending)
+        for group in groups.values():
+            self._dispatch(group)
 
     def _dispatch(self, tick: List[_Pending]) -> None:
         """One fused traversal for the tick; scatter slices to the futures."""
-        live = [pending for pending in tick if not pending.future.done()]
+        live = []
+        for pending in tick:
+            if pending.future.done():
+                # Client timeout/cancel raced the dispatch: the rows never
+                # reach the backend, and the drop must be visible in the
+                # stats (a cancelled batch-mate would otherwise silently
+                # skew fairness and coalescing metrics).
+                self.stats.n_dropped_requests += 1
+            else:
+                live.append(pending)
         if not live:
             return
         try:
@@ -333,6 +529,7 @@ class QueryService:
         self.stats.n_requests += len(live)
         self.stats.n_rows += len(inputs)
         self.stats.max_tick_rows = max(self.stats.max_tick_rows, len(inputs))
+        self._record_tick(live, fused, len(inputs))
         offset = 0
         for pending in live:
             end = offset + len(pending.inputs)
@@ -341,6 +538,52 @@ class QueryService:
             if pending.on_dispatch is not None:
                 pending.on_dispatch(self.stats.n_ticks)
             offset = end
+
+    def _record_tick(self, live: List[_Pending], fused, rows: int) -> None:
+        """Append the tick's physical rail observable to :attr:`tick_trace`.
+
+        The rail power is the *sum over every batch-mate's rows* — the
+        analogue supply current of the whole fused traversal, which is what
+        a probe on the shared rail integrates — optionally jammed by the
+        ``noise_budget`` dummy draw.  The draw is keyed on the tick's first
+        row seed under a dedicated stream domain, so ledgers replay
+        bit-identically without perturbing any response-path noise.
+        """
+        tenants: List[Optional[str]] = []
+        tenant_rows: Dict[Optional[str], int] = {}
+        for pending in live:
+            if pending.tenant not in tenant_rows:
+                tenants.append(pending.tenant)
+                tenant_rows[pending.tenant] = 0
+            tenant_rows[pending.tenant] += len(pending.inputs)
+        rail = getattr(self.backend, "rail_currents", lambda fused: None)(fused)
+        per_tile = getattr(self.backend, "per_tile_currents", lambda fused: None)(fused)
+        labels = getattr(self.backend, "tile_labels", lambda fused: None)(fused)
+        rail_power = None if rail is None else float(np.sum(rail))
+        per_tile_power = None if per_tile is None else np.sum(per_tile, axis=0)
+        if self.config.noise_budget > 0.0:
+            stream = sample_stream(int(live[0].seeds[0]), _RAIL_DOMAIN, 0)
+            if rail_power is not None:
+                rail_power += self.config.noise_budget * float(stream.normal())
+            if per_tile_power is not None:
+                per_tile_power = per_tile_power + self.config.noise_budget * (
+                    stream.normal(size=per_tile_power.shape)
+                )
+        bank = None
+        if self.config.placement == "tile-isolated" and len(tenants) == 1:
+            bank = tenants[0]
+        self.tick_trace.append(
+            TickTrace(
+                tick_id=self.stats.n_ticks,
+                tenants=tuple(tenants),
+                tenant_rows=tenant_rows,
+                rows=rows,
+                rail_power=rail_power,
+                per_tile_power=per_tile_power,
+                tile_labels=labels,
+                bank=bank,
+            )
+        )
 
     @property
     def queries_used(self) -> int:

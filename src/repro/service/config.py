@@ -12,6 +12,22 @@ from typing import Any, Dict, Mapping
 
 from repro.utils.validation import check_non_negative, check_positive_int
 
+#: Tick-placement policies understood by the coalescer.
+#:
+#: * ``"shared"`` — status quo: requests coalesce in arrival order,
+#:   regardless of which tenant submitted them (batch-mates share rails).
+#: * ``"partitioned"`` — never mix tenants in a tick: each dispatch round
+#:   groups the drained requests by tenant and dispatches one tick per
+#:   tenant, so a fused traversal only ever carries one tenant's rows.  The
+#:   ``max_batch`` row budget applies per tenant group, so same-tenant rows
+#:   still coalesce into full ticks under interleaved arrivals.
+#: * ``"tile-isolated"`` — partitioned placement *plus* per-tenant tile
+#:   banks: each single-tenant tick is attributed to the submitting
+#:   tenant's physical tile bank, so its rail observables
+#:   (:class:`~repro.service.coalescer.TickTrace`) are invisible to
+#:   co-resident tenants on other banks.
+PLACEMENT_POLICIES = ("shared", "partitioned", "tile-isolated")
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
@@ -40,12 +56,27 @@ class ServiceConfig:
         the same ``base_seed`` assign identical seeds to identical request
         sequence numbers, which is what the service-vs-direct equivalence
         tests replay.
+    placement:
+        Tick-placement policy (:data:`PLACEMENT_POLICIES`): whether requests
+        from different tenants may share a fused traversal.  Placement
+        decides *which rows ride together* — never the physics — so every
+        policy preserves the per-request bit-identity contract.
+    noise_budget:
+        Scale of the per-tick dummy current draw added to the **rail ledger**
+        (:attr:`~repro.service.coalescer.QueryService.tick_trace`) — the
+        noise-budget isolation defence.  The dummy draw jams what a
+        co-resident attacker probing the shared supply rail can learn from a
+        tick total; it is keyed on the tick's first row seed, so ledgers are
+        reproducible, and it never touches the responses returned to
+        tenants (bit-identity is unaffected).  ``0`` records the clean rail.
     """
 
     max_batch: int = 64
     max_wait_ms: float = 2.0
     max_pending: int = 256
     base_seed: int = 0
+    placement: str = "shared"
+    noise_budget: float = 0.0
 
     def __post_init__(self) -> None:
         check_positive_int(self.max_batch, "max_batch")
@@ -53,6 +84,12 @@ class ServiceConfig:
         check_positive_int(self.max_pending, "max_pending")
         if not isinstance(self.base_seed, int) or isinstance(self.base_seed, bool):
             raise ValueError(f"base_seed must be an int, got {self.base_seed!r}")
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"placement must be one of {PLACEMENT_POLICIES}, "
+                f"got {self.placement!r}"
+            )
+        check_non_negative(self.noise_budget, "noise_budget")
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable representation (inverse of :meth:`from_dict`)."""
@@ -84,4 +121,8 @@ class ServiceConfig:
             kwargs["max_pending"] = int(payload["max_pending"])
         if "base_seed" in payload:
             kwargs["base_seed"] = int(payload["base_seed"])
+        if "placement" in payload:
+            kwargs["placement"] = str(payload["placement"])
+        if "noise_budget" in payload:
+            kwargs["noise_budget"] = float(payload["noise_budget"])
         return cls(**kwargs)

@@ -8,6 +8,13 @@ arbitrary query sets, and locating the largest column 1-norm with fewer
 probes than inputs (the search strategies sketched at the end of Section III).
 """
 
+from repro.sidechannel.coresident import (
+    CoResidentEstimate,
+    CoResidentTrace,
+    estimate_victim_norms,
+    run_coresident_attack,
+    visible_ticks,
+)
 from repro.sidechannel.measurement import PowerMeasurement, QueryBudgetExceeded
 from repro.sidechannel.probing import ColumnNormProber, ProbeResult
 from repro.sidechannel.estimators import (
@@ -24,6 +31,11 @@ from repro.sidechannel.search import (
 )
 
 __all__ = [
+    "CoResidentEstimate",
+    "CoResidentTrace",
+    "estimate_victim_norms",
+    "run_coresident_attack",
+    "visible_ticks",
     "PowerMeasurement",
     "QueryBudgetExceeded",
     "ColumnNormProber",

@@ -240,7 +240,12 @@ class TestSweepRegistration:
             assert name in names
 
     def test_sweeps_match_config_grids(self):
-        assert set(SWEEPS) == set(SWEEP_PRESET_GRIDS) == set(BUILTIN_SWEEPS)
+        from repro.experiments.config import TENANT_SWEEP_GRIDS
+
+        # loading the builtin registry also registers the tenant sweeps
+        list_experiments()
+        assert set(SWEEP_PRESET_GRIDS) == set(BUILTIN_SWEEPS)
+        assert set(SWEEPS) == set(BUILTIN_SWEEPS) | set(TENANT_SWEEP_GRIDS)
 
     def test_cli_list_shows_sweeps(self, capsys):
         from repro.experiments.cli import main
