@@ -18,6 +18,13 @@ from repro.crossbar.mapping import (
     reduce_partial_sums,
 )
 from repro.crossbar.array import CrossbarArray
+from repro.crossbar.shard import (
+    NonPicklableShardError,
+    ShardProgram,
+    run_shard,
+    run_shard_matvec,
+    run_shard_total_current,
+)
 from repro.crossbar.adc_dac import DAC, ADC
 from repro.crossbar.power import PowerModel, PowerReport
 from repro.crossbar.tile import CrossbarTile, ShardedTileGroup, build_tile
@@ -34,6 +41,11 @@ __all__ = [
     "ShardingSpec",
     "reduce_partial_sums",
     "CrossbarArray",
+    "NonPicklableShardError",
+    "ShardProgram",
+    "run_shard",
+    "run_shard_matvec",
+    "run_shard_total_current",
     "DAC",
     "ADC",
     "PowerModel",

@@ -283,6 +283,18 @@ class CrossbarArray:
         self._n_operations = 0
         self._n_realizations = 0
 
+    def record_offloaded_traversal(self, *, realizations: int = 1) -> None:
+        """Account for a traversal executed outside this host object.
+
+        When a shard's physics runs in a worker process (a materialised
+        :class:`~repro.crossbar.shard.ShardProgram`), the worker traverses
+        its own copy of the devices; the host array records the traversal
+        here so :attr:`n_operations` / :attr:`n_realizations` keep describing
+        the physical array regardless of where the kernel ran.
+        """
+        self._n_operations += 1
+        self._n_realizations += int(realizations)
+
     # -------------------------------------------------- static non-idealities
 
     def _apply_static_nonidealities(self) -> None:
@@ -337,6 +349,38 @@ class CrossbarArray:
         positions = np.arange(1, self.n_columns + 1)
         return 1.0 / (1.0 + resistance * column_g * positions)
 
+    def _wire_droop(
+        self, g_plus: np.ndarray, g_minus: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Per-cell voltage-droop factor of the 2-D IR-drop model, or ``None``.
+
+        With ``wire_resistance_ohm = R`` per unit cell, the cell at grid
+        position ``(i, j)`` sees its drive voltage attenuated by the column
+        wire feeding it (``i + 1`` cells deep, loaded by the column's total
+        conductance) and its current attenuated along the row wire collecting
+        it (``j + 1`` cells long, loaded by the row's total conductance):
+
+        ``droop[i, j] = 1 / (1 + R * (G_col[j] * (i+1) + G_row[i] * (j+1)))``
+
+        Both loads and both distances scale with the *physical* array shape,
+        so sharding a layer across smaller tiles shrinks the droop
+        quadratically.  Returns ``None`` when ``R == 0`` so the default
+        configuration skips the multiply entirely (bitwise old behaviour).
+        """
+        resistance = self.nonidealities.wire_resistance_ohm
+        if resistance == 0:
+            return None
+        total = g_plus + g_minus
+        column_g = total.sum(axis=0)
+        row_g = total.sum(axis=1)
+        row_depth = np.arange(1, total.shape[0] + 1, dtype=float)
+        col_length = np.arange(1, total.shape[1] + 1, dtype=float)
+        drop = resistance * (
+            column_g[np.newaxis, :] * row_depth[:, np.newaxis]
+            + row_g[:, np.newaxis] * col_length[np.newaxis, :]
+        )
+        return 1.0 / (1.0 + drop)
+
     def _realize_state(self) -> _EffectiveState:
         """One physical conductance read, shared by outputs and power.
 
@@ -355,8 +399,15 @@ class CrossbarArray:
                 return cache
         g_plus, g_minus = self._read_conductances()
         attenuation = self._ir_drop_attenuation(g_plus, g_minus)
-        effective = (g_plus - g_minus) * attenuation[np.newaxis, :]
-        column_sums = ((g_plus + g_minus) * attenuation[np.newaxis, :]).sum(axis=0)
+        droop = self._wire_droop(g_plus, g_minus)
+        if droop is not None:
+            g_diff = (g_plus - g_minus) * droop
+            g_sum = (g_plus + g_minus) * droop
+        else:
+            g_diff = g_plus - g_minus
+            g_sum = g_plus + g_minus
+        effective = g_diff * attenuation[np.newaxis, :]
+        column_sums = (g_sum * attenuation[np.newaxis, :]).sum(axis=0)
         # One host->device transfer per realization; with a deterministic
         # device the state is cached, so the operands stay device-resident
         # until program()/invalidate_state_cache() and every query pays only
@@ -501,11 +552,18 @@ class CrossbarArray:
                 g_plus = self.device.apply_read_noise(self.g_plus, rng)
                 g_minus = self.device.apply_read_noise(self.g_minus, rng)
                 attenuation = self._ir_drop_attenuation(g_plus, g_minus)
+                droop = self._wire_droop(g_plus, g_minus)
+                if droop is not None:
+                    g_diff = (g_plus - g_minus) * droop
+                    g_sum = (g_plus + g_minus) * droop
+                else:
+                    g_diff = g_plus - g_minus
+                    g_sum = g_plus + g_minus
                 self._n_realizations += 1
                 if want_outputs:
-                    outputs[i] = ((g_plus - g_minus) * attenuation) @ row
+                    outputs[i] = (g_diff * attenuation) @ row
                 if want_totals:
-                    column_sums = ((g_plus + g_minus) * attenuation).sum(axis=0)
+                    column_sums = (g_sum * attenuation).sum(axis=0)
                     totals[i] = row @ column_sums
             # The per-row realization loop is host-side physics (fresh noisy
             # conductances per row); its rail noise stays host-side too.

@@ -283,6 +283,20 @@ class ShardingSpec:
         col_sections = np.array_split(np.arange(n_cols), self.col_shards)
         return row_sections, col_sections
 
+    def column_sections(self, n_cols: int) -> List[np.ndarray]:
+        """Index partitions of ``N`` input columns only (attack-side helper).
+
+        A prober reconstructing per-column quantities from per-shard rails
+        needs to know which physical tile owns each input column; this is the
+        column half of :meth:`shard_sections` without requiring the row
+        count.
+        """
+        if self.col_shards > n_cols:
+            raise ValueError(
+                f"cannot split {n_cols} input columns into {self.col_shards} shards"
+            )
+        return np.array_split(np.arange(n_cols), self.col_shards)
+
     # ----------------------------------------------------------- serialization
 
     def to_dict(self) -> Dict[str, object]:
@@ -295,7 +309,14 @@ class ShardingSpec:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "ShardingSpec":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        allowed = {"row_shards", "col_shards", "reduction"}
+        unknown = set(payload) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown ShardingSpec key(s): {sorted(unknown)}; "
+                f"allowed: {sorted(allowed)}"
+            )
         return cls(**payload)
 
 

@@ -28,6 +28,19 @@ class NonidealityConfig:
         ``0`` disables IR drop.  The approximation attenuates each column's
         contribution by ``1 / (1 + R_wire * G_col * distance)`` which captures
         the first-order effect of current flowing through shared wires.
+    wire_resistance_ohm:
+        Per-unit-cell wire resistance (ohms) of the full two-dimensional
+        IR-drop model.  ``0`` disables it bitwise.  Unlike
+        :attr:`wire_resistance` (a per-column attenuation), this models the
+        voltage droop a cell at grid position ``(i, j)`` sees along *both*
+        the column wire feeding it (``i`` cells deep, loaded by the column's
+        total conductance) and the row wire collecting its current (``j``
+        cells long, loaded by the row's total conductance):
+        ``1 / (1 + R * (G_col[j] * (i+1) + G_row[i] * (j+1)))``.
+        The droop therefore scales with the *physical* array dimensions —
+        sharding a layer across smaller tiles shortens the wires and shrinks
+        the per-wire load, so the same ``wire_resistance_ohm`` hurts a
+        monolithic array far more than a finely sharded one.
     current_measurement_noise:
         Standard deviation of additive noise on the *total current*
         measurement (the power side channel), relative to the measured value.
@@ -40,6 +53,7 @@ class NonidealityConfig:
     stuck_at_off_fraction: float = 0.0
     stuck_at_on_fraction: float = 0.0
     wire_resistance: float = 0.0
+    wire_resistance_ohm: float = 0.0
     current_measurement_noise: float = 0.0
     temperature_drift: float = 0.0
 
@@ -49,6 +63,7 @@ class NonidealityConfig:
         if self.stuck_at_off_fraction + self.stuck_at_on_fraction > 1.0:
             raise ValueError("stuck-at fractions must sum to at most 1")
         check_non_negative(self.wire_resistance, "wire_resistance")
+        check_non_negative(self.wire_resistance_ohm, "wire_resistance_ohm")
         check_non_negative(self.current_measurement_noise, "current_measurement_noise")
         if self.temperature_drift < -1.0:
             raise ValueError(
@@ -62,6 +77,7 @@ class NonidealityConfig:
             self.stuck_at_off_fraction == 0.0
             and self.stuck_at_on_fraction == 0.0
             and self.wire_resistance == 0.0
+            and self.wire_resistance_ohm == 0.0
             and self.current_measurement_noise == 0.0
             and self.temperature_drift == 0.0
         )

@@ -15,12 +15,65 @@ attacks and analyses can select any subset of rails.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.utils.validation import check_positive
+
+#: The accelerator's tile-label grammar: ``layer<i>`` for unsharded layers,
+#: ``layer<i>/r<row>c<col>`` for shards of a sharded layer.
+_TILE_LABEL_RE = re.compile(r"^layer(?P<layer>\d+)(?:/r(?P<row>\d+)c(?P<col>\d+))?$")
+
+
+def parse_tile_label(label: str) -> Tuple[int, Optional[Tuple[int, int]]]:
+    """Split a tile label into ``(layer_index, shard_position)``.
+
+    ``shard_position`` is the ``(row, col)`` grid coordinate for sharded
+    labels and ``None`` for a whole-layer tile.  Raises ``ValueError`` for
+    labels outside the accelerator's grammar.
+    """
+    match = _TILE_LABEL_RE.match(str(label))
+    if match is None:
+        raise ValueError(f"unrecognised tile label {label!r}")
+    layer = int(match.group("layer"))
+    if match.group("row") is None:
+        return layer, None
+    return layer, (int(match.group("row")), int(match.group("col")))
+
+
+def layer_rail_grid(
+    labels: Sequence[str], layer: int
+) -> Tuple[Tuple[int, int], np.ndarray]:
+    """Map one layer's rails back onto its shard grid.
+
+    Given the per-tile labels of a power report (or oracle response), returns
+    ``((row_shards, col_shards), columns)`` where ``columns[r, c]`` is the
+    report-column index of shard ``(r, c)``.  An unsharded layer yields a
+    ``1 x 1`` grid.  Raises ``KeyError`` when the layer has no rails and
+    ``ValueError`` when its shard labels do not form a complete grid.
+    """
+    positions = {}
+    for index, label in enumerate(labels):
+        label_layer, shard = parse_tile_label(label)
+        if label_layer != layer:
+            continue
+        positions[(0, 0) if shard is None else shard] = index
+    if not positions:
+        raise KeyError(f"no rails labelled for layer {layer} in {tuple(labels)}")
+    row_shards = max(r for r, _ in positions) + 1
+    col_shards = max(c for _, c in positions) + 1
+    if len(positions) != row_shards * col_shards:
+        raise ValueError(
+            f"layer {layer} rails do not form a complete "
+            f"{row_shards}x{col_shards} grid: {sorted(positions)}"
+        )
+    columns = np.empty((row_shards, col_shards), dtype=int)
+    for (r, c), index in positions.items():
+        columns[r, c] = index
+    return (row_shards, col_shards), columns
 
 
 @dataclass(frozen=True)

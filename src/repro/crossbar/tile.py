@@ -45,9 +45,15 @@ from repro.crossbar.mapping import (
     reduce_partial_sums,
 )
 from repro.crossbar.nonidealities import NonidealityConfig
+from repro.crossbar.shard import (
+    ShardProgram,
+    run_shard,
+    run_shard_matvec,
+    run_shard_total_current,
+)
 from repro.nn.activations import Activation, get_activation
 from repro.nn.layers import Dense
-from repro.utils.rng import RandomState, as_rng, spawn_rngs
+from repro.utils.rng import RandomState, as_rng
 
 
 # Module-level shard kernels so a thread-pool ParallelRunner can map over
@@ -68,6 +74,16 @@ def _shard_total_current(
     array: CrossbarArray, voltages: np.ndarray, sample_seeds=None
 ) -> np.ndarray:
     return array.total_current(voltages, sample_seeds=sample_seeds)
+
+
+#: Host-object kernel -> self-contained program kernel.  Used when shard
+#: execution is shipped to a process pool: the job carries a picklable
+#: :class:`~repro.crossbar.shard.ShardProgram` instead of the live array.
+_PROGRAM_KERNELS = {
+    _shard_matvec: run_shard_matvec,
+    _shard_matvec_with_current: run_shard,
+    _shard_total_current: run_shard_total_current,
+}
 
 
 class CrossbarTile:
@@ -176,6 +192,15 @@ class CrossbarTile:
     def physical_arrays(self) -> List[CrossbarArray]:
         """Every physical :class:`CrossbarArray`, row-major shard order."""
         return [self.array]
+
+    def shard_programs(self) -> List[ShardProgram]:
+        """Picklable snapshots of the programmed state, row-major shard order.
+
+        A single-array tile yields exactly one
+        :class:`~repro.crossbar.shard.ShardProgram` — the same self-contained
+        unit of physics a sharded group ships to worker processes.
+        """
+        return [ShardProgram.from_array(self.array)]
 
     @property
     def column_conductance_sums(self) -> np.ndarray:
@@ -335,12 +360,20 @@ class ShardedTileGroup(CrossbarTile):
         The :class:`~repro.crossbar.mapping.ShardingSpec` grid geometry.
     runner:
         Optional :class:`~repro.experiments.runner.ParallelRunner` used to
-        execute shard kernels concurrently.  Only ``thread`` and ``serial``
-        modes are legal: the shard arrays are stateful (operation counters,
-        per-shard RNG streams), so they must share the caller's address
-        space; a ``process`` runner is rejected.  Thread execution is
-        bit-identical to serial — each shard's operations happen in the same
-        order on the same array, results are collected in shard order.
+        execute shard kernels concurrently.  ``thread`` runners map the
+        host-object kernels directly (shared address space; bit-identical to
+        serial — each shard's operations happen in the same order on the
+        same array, results are collected in shard order).  ``process``
+        runners ship self-contained
+        :class:`~repro.crossbar.shard.ShardProgram` snapshots to the worker
+        pool instead: seeded and deterministic execution is bitwise
+        identical to the serial path (the program kernels are pure
+        functions), unseeded stochastic execution receives a fresh per-call
+        seed drawn from the host shard's own generator.  Construction
+        verifies up front that the programs can actually cross the address
+        space and raises
+        :class:`~repro.crossbar.shard.NonPicklableShardError` for
+        device-resident backend state (e.g. cupy operands).
     """
 
     def __init__(
@@ -362,12 +395,6 @@ class ShardedTileGroup(CrossbarTile):
             raise TypeError(
                 f"sharding must be a ShardingSpec, got {type(sharding).__name__}"
             )
-        if runner is not None and getattr(runner, "mode", None) == "process":
-            raise ValueError(
-                "shard execution requires a shared address space (stateful "
-                "arrays: operation counters, RNG streams); use a 'thread' or "
-                "'serial' ParallelRunner"
-            )
         self._sharding = sharding
         self._runner = runner
         super().__init__(
@@ -381,6 +408,10 @@ class ShardedTileGroup(CrossbarTile):
             dtype=dtype,
             batch_invariant=batch_invariant,
         )
+        if runner is not None and getattr(runner, "mode", None) == "process":
+            # Capability check, not a mode check: process execution is legal
+            # whenever the programmed state can cross the address space.
+            self.shard_programs()[0].require_picklable()
 
     # ----------------------------------------------------------------- engine
 
@@ -420,7 +451,17 @@ class ShardedTileGroup(CrossbarTile):
         self._col_slices = [
             slice(int(cols[0]), int(cols[-1]) + 1) for cols in col_sections
         ]
-        shard_rngs = spawn_rngs(rng, self._sharding.n_shards)
+        # Integer seed material first, generators second — the exact draws
+        # spawn_rngs(rng, n) performs, but keeping the plain-int seeds lets a
+        # ShardProgram reconstruct each shard's generator start state in a
+        # worker process bit-exactly.
+        shard_seeds = [
+            int(seed)
+            for seed in rng.integers(0, 2**63 - 1, size=self._sharding.n_shards)
+        ]
+        shard_rngs = [np.random.default_rng(seed) for seed in shard_seeds]
+        self._shard_seeds = shard_seeds
+        self._shard_programs: Optional[List[ShardProgram]] = None
         self.shards: List[List[CrossbarArray]] = []
         for r, rows in enumerate(row_sections):
             row_arrays = []
@@ -459,6 +500,22 @@ class ShardedTileGroup(CrossbarTile):
     @property
     def physical_arrays(self) -> List[CrossbarArray]:
         return [array for row in self.shards for array in row]
+
+    def shard_programs(self) -> List[ShardProgram]:
+        """Picklable snapshots of every shard, row-major order (cached).
+
+        The conductance matrices are static after programming, so the
+        snapshots are built once on first use.  Each program carries the
+        shard's own host-derived integer seed — the exact value its live
+        generator was started from — which keeps the seeded noise path
+        bit-identical no matter which address space executes the kernel.
+        """
+        if self._shard_programs is None:
+            self._shard_programs = [
+                ShardProgram.from_array(array, seed=seed)
+                for array, seed in zip(self.physical_arrays, self._shard_seeds)
+            ]
+        return self._shard_programs
 
     @property
     def column_conductance_sums(self) -> np.ndarray:
@@ -501,23 +558,67 @@ class ShardedTileGroup(CrossbarTile):
         """Apply ``kernel(array, voltages, sample_seeds)`` to every shard.
 
         Returns results as a ``[row][col]`` grid.  With a runner attached the
-        kernels execute on its pool (thread mode — shared address space);
-        results are collected in shard order either way, so the grid is
-        independent of the execution schedule.  The per-row ``sample_seeds``
-        are shared by every shard — each shard derives its own noise streams
-        from them via its distinct :attr:`CrossbarArray.noise_tag`.
+        kernels execute on its pool: thread mode maps the host objects
+        directly (shared address space), process mode ships self-contained
+        :class:`~repro.crossbar.shard.ShardProgram` jobs instead (see
+        :meth:`_offload_shards`).  Results are collected in shard order
+        either way, so the grid is independent of the execution schedule.
+        The per-row ``sample_seeds`` are shared by every shard — each shard
+        derives its own noise streams from them via its distinct
+        :attr:`CrossbarArray.noise_tag`.
         """
-        jobs = [
-            (self.shards[r][c], voltage_slices[c], sample_seeds)
-            for r in range(len(self._row_sections))
-            for c in range(len(self._col_sections))
-        ]
-        if self._runner is None:
-            flat = [kernel(array, voltages, seeds) for array, voltages, seeds in jobs]
-        else:
-            flat = self._runner.map(kernel, jobs)
+        n_rows = len(self._row_sections)
         n_cols = len(self._col_sections)
-        return [flat[r * n_cols : (r + 1) * n_cols] for r in range(len(self._row_sections))]
+        if self._runner is not None and getattr(self._runner, "mode", None) == "process":
+            flat = self._offload_shards(kernel, voltage_slices, sample_seeds)
+        else:
+            jobs = [
+                (self.shards[r][c], voltage_slices[c], sample_seeds)
+                for r in range(n_rows)
+                for c in range(n_cols)
+            ]
+            if self._runner is None:
+                flat = [
+                    kernel(array, voltages, seeds) for array, voltages, seeds in jobs
+                ]
+            else:
+                flat = self._runner.map(kernel, jobs)
+        return [flat[r * n_cols : (r + 1) * n_cols] for r in range(n_rows)]
+
+    def _offload_shards(
+        self, kernel, voltage_slices: Sequence[np.ndarray], sample_seeds
+    ) -> List:
+        """Execute the shard grid as picklable programs on a process pool.
+
+        Each job carries the shard's :class:`ShardProgram` rather than the
+        live array, so workers need nothing from this address space.  Seeded
+        and deterministic calls are pure functions of the job — bitwise
+        identical to host execution.  An unseeded *stochastic* call needs
+        fresh noise: the dispatcher draws a per-call ``rng_seed`` from the
+        host shard's own generator, keeping all RNG statefulness host-side
+        (statistically fresh draws, exactly one host draw per traversal).
+        Host operation counters advance here too — workers are stateless and
+        the counters describe the physical array, wherever the kernel ran.
+        """
+        program_kernel = _PROGRAM_KERNELS[kernel]
+        programs = self.shard_programs()
+        n_cols = len(self._col_sections)
+        jobs = []
+        for index, (program, array) in enumerate(
+            zip(programs, self.physical_arrays)
+        ):
+            voltages = voltage_slices[index % n_cols]
+            rng_seed = None
+            if sample_seeds is None and not program.is_deterministic:
+                rng_seed = int(array._rng.integers(0, 2**63 - 1))
+            realizations = (
+                voltages.shape[0]
+                if sample_seeds is not None and array.device.read_noise > 0
+                else 1
+            )
+            array.record_offloaded_traversal(realizations=realizations)
+            jobs.append((program, voltages, sample_seeds, rng_seed))
+        return self._runner.map(program_kernel, jobs)
 
     def _reduce_rows(self, grid: List[List[np.ndarray]]) -> np.ndarray:
         """Reduce column-shard partials per row shard, concatenate row outputs."""

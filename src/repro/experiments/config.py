@@ -218,6 +218,24 @@ SHARD_PRESET_GEOMETRIES: Dict[str, Tuple[int, int, str]] = {
 }
 
 
+#: Per-unit-cell wire resistance (ohms) of the ``wired-crossbar`` preset —
+#: the 2-D IR-drop model of
+#: :attr:`~repro.crossbar.nonidealities.NonidealityConfig.wire_resistance_ohm`.
+#: Calibrated so a monolithic MNIST-sized tile (10 x 785) suffers heavy
+#: droop-induced leakage distortion while finer shard geometries, whose
+#: shorter wires carry smaller per-wire loads, recover most of the leakage —
+#: the security-vs-geometry design-space axis ``sweep-shard-geometry``
+#: reports.
+WIRED_CROSSBAR_OHM: float = 1e-3
+
+#: Attacker instrument noise (relative std) of the ``wired-crossbar``
+#: preset.  Nonzero so the per-shard prober's rail selection has noise to
+#: reject: each rail's noise scales with that rail's own current, which is
+#: what makes per-rail probing strictly better than the whole-rail attack on
+#: row-sharded victims.
+WIRED_CROSSBAR_PROBE_NOISE: float = 0.05
+
+
 #: Service-fronted presets registered as ``service-*`` scenarios:
 #: ``name -> (base scenario preset, max_batch, max_wait_ms)``.  Kept here as
 #: plain data so the shipped batching policies are configuration, not
@@ -325,9 +343,13 @@ SWEEP_PRESET_GRIDS: Dict[str, Tuple[str, str, Tuple[object, ...]]] = {
         "defense.power_noise_std",
         (2.0, 1.0, 0.5, 0.25, 0.0),
     ),
+    # Ordered coarsest-to-finest *wire* geometry under the wired-crossbar
+    # base: droop falls (and leakage recovers) monotonically left to right —
+    # row splits barely shorten the long row wires, column splits shorten
+    # them quadratically.
     "sweep-shard-geometry": (
-        "paper/mnist-softmax",
+        "wired-crossbar",
         "sharding",
-        (None, (2, 1, "sequential"), (1, 4, "sequential"), (2, 2, "sequential"), (4, 4, "tree")),
+        (None, (2, 1, "sequential"), (2, 2, "sequential"), (1, 4, "sequential"), (4, 4, "tree")),
     ),
 }

@@ -17,7 +17,7 @@ defence studies the ROADMAP calls for.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -33,6 +33,8 @@ from repro.experiments.config import (
     SERVICE_PRESET_CONFIGS,
     SHARD_PRESET_GEOMETRIES,
     TENANT_PRESET_CONFIGS,
+    WIRED_CROSSBAR_OHM,
+    WIRED_CROSSBAR_PROBE_NOISE,
 )
 from repro.nn.metrics import accuracy
 from repro.service.config import ServiceConfig
@@ -49,6 +51,47 @@ _ACTIVATIONS = ("linear", "softmax")
 
 #: Defence identifiers accepted by :attr:`ScenarioSpec.defense`.
 _DEFENSES = ("norm-regularizer", "rebalance", "power-noise")
+
+#: Wire-physics knobs a dict-form ``sharding`` value may carry alongside the
+#: grid geometry; they are folded into :attr:`ScenarioSpec.nonidealities`.
+#: Only the 2-D IR-drop knob is accepted — the legacy 1-D ``wire_resistance``
+#: attenuation is a separate nonideality and must be set there explicitly.
+_SHARDING_WIRE_KNOBS = ("wire_resistance_ohm",)
+
+#: Geometry keys of the dict form (the :meth:`ShardingSpec.to_dict` fields).
+_SHARDING_GEOMETRY_KEYS = ("row_shards", "col_shards", "reduction")
+
+
+def _coerce_scenario_sharding(value) -> Tuple[ShardingSpec, Dict[str, float]]:
+    """Coerce a scenario ``sharding`` value to ``(spec, wire_overrides)``.
+
+    Accepts a ``(rows, cols[, reduction])`` tuple or a mapping whose keys are
+    the :meth:`~repro.crossbar.mapping.ShardingSpec.to_dict` fields plus the
+    wire-physics knobs in :data:`_SHARDING_WIRE_KNOBS`.  Unknown keys are
+    rejected (same contract as :meth:`ScenarioSpec.from_dict`): a typo'd
+    geometry knob must fail loudly, not be silently dropped.
+    """
+    if isinstance(value, (tuple, list)):
+        return ShardingSpec(*value), {}
+    if isinstance(value, Mapping):
+        payload = dict(value)
+        allowed = set(_SHARDING_GEOMETRY_KEYS) | set(_SHARDING_WIRE_KNOBS)
+        unknown = sorted(set(payload) - allowed)
+        if unknown:
+            raise ValueError(
+                f"unknown sharding key(s) {unknown}; "
+                f"expected a subset of {sorted(allowed)}"
+            )
+        wire = {
+            knob: float(payload.pop(knob))
+            for knob in _SHARDING_WIRE_KNOBS
+            if knob in payload
+        }
+        return ShardingSpec.from_dict(payload), wire
+    raise TypeError(
+        f"sharding must be a ShardingSpec, a (rows, cols, reduction) tuple, "
+        f"a dict of geometry/wire knobs, or None, got {type(value).__name__}"
+    )
 
 
 @dataclass(frozen=True)
@@ -185,10 +228,17 @@ class ScenarioSpec:
         if self.defense_strength < 0:
             raise ValueError("defense_strength must be >= 0")
         if self.sharding is not None and not isinstance(self.sharding, ShardingSpec):
-            raise TypeError(
-                f"sharding must be a ShardingSpec or None, "
-                f"got {type(self.sharding).__name__}"
-            )
+            spec, wire_overrides = _coerce_scenario_sharding(self.sharding)
+            object.__setattr__(self, "sharding", spec)
+            if wire_overrides:
+                # Wire physics rides along with the dict form of the
+                # geometry; fold it into the nonideality config (which
+                # re-validates the values).
+                object.__setattr__(
+                    self,
+                    "nonidealities",
+                    replace(self.nonidealities, **wire_overrides),
+                )
         if self.service is not None and not isinstance(self.service, ServiceConfig):
             raise TypeError(
                 f"service must be a ServiceConfig or None, "
@@ -267,9 +317,9 @@ class ScenarioSpec:
         nonidealities = kwargs.get("nonidealities")
         if isinstance(nonidealities, dict):
             kwargs["nonidealities"] = NonidealityConfig(**nonidealities)
-        sharding = kwargs.get("sharding")
-        if isinstance(sharding, dict):
-            kwargs["sharding"] = ShardingSpec.from_dict(sharding)
+        # Dict-form sharding (including wire-physics knobs) is coerced by
+        # ``__post_init__`` itself, so serialised payloads and literal specs
+        # go through one validation path.
         service = kwargs.get("service")
         if isinstance(service, dict):
             kwargs["service"] = ServiceConfig.from_dict(service)
@@ -374,6 +424,7 @@ class ScenarioSpec:
         random_state: int,
         output_mode: str = "raw",
         expose_power: bool = True,
+        expose_per_tile_power: bool = False,
     ):
         """The attacker's query interface to ``target``.
 
@@ -395,6 +446,7 @@ class ScenarioSpec:
             target,
             output_mode=output_mode,
             expose_power=expose_power,
+            expose_per_tile_power=expose_per_tile_power,
             **kwargs,
         )
         if self.service is None:
@@ -496,6 +548,19 @@ register_scenario(
         defense="power-noise",
         defense_strength=0.5,
         description="Randomised dummy current draw at inference time (inference-time defence)",
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="wired-crossbar",
+        dataset="mnist-like",
+        activation="softmax",
+        nonidealities=NonidealityConfig(wire_resistance_ohm=WIRED_CROSSBAR_OHM),
+        measurement_noise=WIRED_CROSSBAR_PROBE_NOISE,
+        description=(
+            "Finite row/column wire resistance (2-D IR drop) plus attacker "
+            "instrument noise — the base of the security-vs-geometry sweep"
+        ),
     )
 )
 register_scenario(

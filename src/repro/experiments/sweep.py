@@ -291,6 +291,77 @@ def _run_sweep_job(job: Job) -> RunResult:
     return result
 
 
+def _run_shard_geometry_job(job: Job) -> RunResult:
+    """Sweep job for geometry sweeps: adds the per-shard rail attack.
+
+    On top of the standard whole-rail probe metrics this mounts the
+    :class:`~repro.sidechannel.PerShardProber` against an oracle exposing
+    individual shard rails (``expose_per_tile_power=True``), scoring the
+    leakage correlation of the per-shard estimate against the whole-rail
+    estimate recovered *from the same queries*.  Their difference —
+    ``per_shard_attack_advantage`` — is the extra information an attacker
+    gains from observing rails individually; on a monolithic target both
+    estimates read the same single rail and the advantage vanishes.
+    """
+    from repro.sidechannel import PerShardProber
+
+    scenario, scale, seed = job.scenario, job.scale, job.seed
+    dataset = prepare_dataset(scenario.dataset, scale, random_state=seed)
+    model = scenario.build_victim(dataset, scale, random_state=seed)
+    target = scenario.build_accelerator(model.network, random_state=seed)
+
+    # Standard whole-rail probing — same streams as _run_sweep_job, so the
+    # shared metrics stay bit-identical to what a plain sweep would record.
+    prober = scenario.build_prober(target, dataset.n_features, random_state=seed)
+    probe = prober.probe_all()
+    leaked = probe.column_sums
+    leakage = leakage_correlation(target, model.network, leaked_norms=leaked)
+    advantage = single_pixel_attack_advantage(
+        model.network,
+        leaked,
+        dataset.test_inputs,
+        dataset.test_targets,
+        strength=SWEEP_ATTACK_STRENGTH,
+        random_state=np.random.default_rng([int(seed) & 0xFFFFFFFF, 0xAD7]),
+    )
+
+    oracle = scenario.build_oracle(
+        target, random_state=seed, expose_per_tile_power=True
+    )
+    shard_probe = PerShardProber(
+        oracle,
+        dataset.n_features,
+        has_bias_column=model.network.layers[0].use_bias,
+    ).probe_all()
+    per_shard = leakage_correlation(
+        target, model.network, leaked_norms=shard_probe.per_shard_norms
+    )
+    whole_rail = leakage_correlation(
+        target, model.network, leaked_norms=shard_probe.whole_rail_norms
+    )
+
+    result = RunResult(
+        name=f"{job.experiment}/{scenario.name}/run{job.run_index}",
+        metadata={
+            "dataset": scenario.dataset,
+            "activation": scenario.activation,
+            "knob": job.param("knob"),
+            "value": job.param("value"),
+            "value_index": job.param("value_index"),
+            "base": job.param("base"),
+            "rail_grid": list(shard_probe.grid),
+        },
+    )
+    result.add_metric("leakage_correlation", leakage)
+    result.add_metric("single_pixel_attack_advantage", advantage)
+    result.add_metric("clean_test_accuracy", model.test_accuracy)
+    result.add_metric("probe_queries", probe.queries_used)
+    result.add_metric("per_shard_leakage_correlation", per_shard)
+    result.add_metric("whole_rail_leakage_correlation", whole_rail)
+    result.add_metric("per_shard_attack_advantage", per_shard - whole_rail)
+    return result
+
+
 class SweepExperiment(Experiment):
     """Registered experiment running one :class:`SweepSpec` end to end.
 
@@ -304,6 +375,12 @@ class SweepExperiment(Experiment):
     #: Subclasses whose jobs measure a different notion of attacker advantage
     #: (e.g. the cross-tenant targeting advantage) override this.
     advantage_metric = "single_pixel_attack_advantage"
+
+    #: Additional per-run metrics assembled into ``<metric>_mean`` /
+    #: ``<metric>_std`` curve entries.  Subclasses whose jobs report more
+    #: than the two standard curves (e.g. the per-shard attack comparison)
+    #: list them here.
+    extra_curve_metrics: Tuple[str, ...] = ()
 
     def __init__(self, spec: SweepSpec, *, description: str = ""):
         self.spec = spec
@@ -401,17 +478,20 @@ class SweepExperiment(Experiment):
             leakage_mean, leakage_std = curve(cells, "leakage_correlation")
             advantage_mean, advantage_std = curve(cells, self.advantage_metric)
             accuracy_mean, _ = curve(cells, "clean_test_accuracy")
-            curves.append(
-                {
-                    "base": base_name,
-                    "values": list(labels),
-                    "leakage_mean": leakage_mean,
-                    "leakage_std": leakage_std,
-                    "advantage_mean": advantage_mean,
-                    "advantage_std": advantage_std,
-                    "accuracy_mean": accuracy_mean,
-                }
-            )
+            entry = {
+                "base": base_name,
+                "values": list(labels),
+                "leakage_mean": leakage_mean,
+                "leakage_std": leakage_std,
+                "advantage_mean": advantage_mean,
+                "advantage_std": advantage_std,
+                "accuracy_mean": accuracy_mean,
+            }
+            for metric in self.extra_curve_metrics:
+                metric_mean, metric_std = curve(cells, metric)
+                entry[f"{metric}_mean"] = metric_mean
+                entry[f"{metric}_std"] = metric_std
+            curves.append(entry)
         assembled.summary["knob"] = self.spec.knob
         assembled.summary["values"] = list(labels)
         assembled.summary["attack_strength"] = SWEEP_ATTACK_STRENGTH
@@ -443,6 +523,58 @@ class SweepExperiment(Experiment):
         return "\n\n".join(sections)
 
 
+class ShardGeometrySweepExperiment(SweepExperiment):
+    """Geometry sweep scoring the per-shard rail attack per grid point.
+
+    Jobs run :func:`_run_shard_geometry_job`, so every curve entry also
+    carries ``per_shard_leakage_correlation`` /
+    ``whole_rail_leakage_correlation`` / ``per_shard_attack_advantage``
+    means and stds alongside the standard leakage and attack curves.  With
+    finite wire resistance on the base scenario this turns the sweep into
+    the security-vs-geometry result: finer shards recover leakage fidelity
+    (shorter wires, less IR droop) while simultaneously handing a per-rail
+    attacker more individually observable rails.
+    """
+
+    extra_curve_metrics = (
+        "per_shard_leakage_correlation",
+        "whole_rail_leakage_correlation",
+        "per_shard_attack_advantage",
+    )
+
+    run_job = staticmethod(_run_shard_geometry_job)
+
+    def format_result(self, result: ExperimentResult) -> str:
+        knob = result.summary.get("knob", self.spec.knob)
+        sections = []
+        for entry in result.summary.get("curves", []):
+            sections.append(
+                format_curves_with_spread(
+                    knob,
+                    entry["values"],
+                    {
+                        "leakage": (entry["leakage_mean"], entry["leakage_std"]),
+                        "advantage": (entry["advantage_mean"], entry["advantage_std"]),
+                        "per-shard leak": (
+                            entry["per_shard_leakage_correlation_mean"],
+                            entry["per_shard_leakage_correlation_std"],
+                        ),
+                        "rail advantage": (
+                            entry["per_shard_attack_advantage_mean"],
+                            entry["per_shard_attack_advantage_std"],
+                        ),
+                    },
+                    extra={"clean acc": entry["accuracy_mean"]},
+                    title=(
+                        f"{self.name} — base {entry['base']} "
+                        f"(scale={result.scale_name}, mean±std over "
+                        f"{result.summary.get('n_runs', '?')} seeds)"
+                    ),
+                )
+            )
+        return "\n\n".join(sections)
+
+
 #: The shipped sweeps, keyed by name (built from config.SWEEP_PRESET_GRIDS).
 SWEEPS: Dict[str, SweepSpec] = {}
 
@@ -458,7 +590,12 @@ for _name, (_base, _knob, _values) in SWEEP_PRESET_GRIDS.items():
         ),
     )
     SWEEPS[_name] = _spec
-    register(SweepExperiment(_spec))
+    _experiment_cls = (
+        ShardGeometrySweepExperiment
+        if _name == "sweep-shard-geometry"
+        else SweepExperiment
+    )
+    register(_experiment_cls(_spec))
 
 
 def get_sweep(name: str) -> SweepSpec:

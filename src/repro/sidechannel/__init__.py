@@ -17,6 +17,7 @@ from repro.sidechannel.coresident import (
 )
 from repro.sidechannel.measurement import PowerMeasurement, QueryBudgetExceeded
 from repro.sidechannel.probing import ColumnNormProber, ProbeResult
+from repro.sidechannel.shardprobe import PerShardProber, ShardProbeResult
 from repro.sidechannel.estimators import (
     estimate_column_sums_least_squares,
     estimate_column_sums_nonnegative,
@@ -40,6 +41,8 @@ __all__ = [
     "QueryBudgetExceeded",
     "ColumnNormProber",
     "ProbeResult",
+    "PerShardProber",
+    "ShardProbeResult",
     "estimate_column_sums_least_squares",
     "estimate_column_sums_nonnegative",
     "estimate_column_sums_ridge",

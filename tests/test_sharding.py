@@ -10,8 +10,10 @@ float-reduction precision (1e-10), since a partial-sum reduction legitimately
 reassociates additions.
 """
 
+import dataclasses
 import importlib.util
 import json
+import pickle
 import subprocess
 import sys
 from pathlib import Path
@@ -23,20 +25,27 @@ from repro.attacks.oracle import Oracle
 from repro.crossbar import (
     CrossbarAccelerator,
     CrossbarTile,
+    NonPicklableShardError,
+    ShardProgram,
     ShardedTileGroup,
     ShardingSpec,
     build_tile,
     reduce_partial_sums,
+    run_shard,
 )
 from repro.crossbar.devices import IDEAL_DEVICE
 from repro.crossbar.mapping import ConductanceMapping
 from repro.crossbar.nonidealities import NonidealityConfig
+from repro.crossbar.power import layer_rail_grid, parse_tile_label
 from repro.experiments.runner import ParallelRunner
 from repro.experiments.scenario import SCENARIOS, ScenarioSpec, get_scenario
 from repro.nn.layers import Dense
 from repro.nn.network import Sequential
+from repro.sidechannel import PerShardProber
 from repro.sidechannel.measurement import PowerMeasurement
 from repro.sidechannel.probing import ColumnNormProber
+
+pytestmark = pytest.mark.sharding
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -108,6 +117,17 @@ class TestShardingSpec:
     def test_dict_round_trip(self):
         spec = ShardingSpec.grid(2, 3, reduction="tree")
         assert ShardingSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="bogus"):
+            ShardingSpec.from_dict({"row_shards": 2, "bogus": 1})
+
+    def test_column_sections_partition_physical_columns(self):
+        sections = ShardingSpec(1, 3).column_sections(14)
+        assert [len(s) for s in sections] == [5, 5, 4]
+        assert np.concatenate(sections).tolist() == list(range(14))
+        with pytest.raises(ValueError):
+            ShardingSpec(1, 15).column_sections(14)
 
 
 class TestReducePartialSums:
@@ -306,15 +326,136 @@ class TestShardRunners:
             report_threaded.per_tile_current, report_serial.per_tile_current
         )
 
-    def test_process_runner_rejected(self):
+    #: Serial/thread/process must agree bitwise for every registered preset
+    #: geometry *and* non-divisible shapes (the shard-program determinism
+    #: contract: ideal devices make the kernels pure functions).
+    PRESET_AND_UNEVEN = [
+        ShardingSpec.rows(2),       # sharded-rows-2
+        ShardingSpec.columns(4),    # sharded-columns-4
+        ShardingSpec.grid(2, 2),    # sharded-2x2
+        ShardingSpec.grid(4, 4, reduction="tree"),  # sharded-4x4-tree
+        ShardingSpec.grid(3, 2),    # non-divisible rows
+        ShardingSpec.grid(2, 3, reduction="tree"),  # non-divisible cols, tree
+    ]
+
+    @pytest.mark.parametrize(
+        "spec",
+        PRESET_AND_UNEVEN,
+        ids=lambda s: f"{s.row_shards}x{s.col_shards}-{s.reduction}",
+    )
+    def test_process_runner_bit_identical_to_serial(self, spec, rng):
+        """Process-mode shard execution is now legal — and bit-identical."""
+        network = dyadic_network(rng)
+        inputs = dyadic_inputs(rng, 6)
+        serial = CrossbarAccelerator(network, sharding=spec, random_state=0)
+        process = CrossbarAccelerator(
+            network,
+            sharding=spec,
+            shard_runner=ParallelRunner(mode="process", max_workers=2),
+            random_state=0,
+        )
+        out_serial, report_serial = serial.forward_with_power(inputs)
+        out_process, report_process = process.forward_with_power(inputs)
+        np.testing.assert_array_equal(out_process, out_serial)
+        np.testing.assert_array_equal(
+            report_process.per_tile_current, report_serial.per_tile_current
+        )
+        np.testing.assert_array_equal(
+            process.total_current(inputs), serial.total_current(inputs)
+        )
+
+    def test_process_runner_counts_offloaded_operations(self, rng):
+        network = dyadic_network(rng)
+        accelerator = CrossbarAccelerator(
+            network,
+            sharding=ShardingSpec.grid(2, 2),
+            shard_runner=ParallelRunner(mode="process", max_workers=2),
+            random_state=0,
+        )
+        accelerator.reset_operation_counters()
+        accelerator.forward_with_power(dyadic_inputs(rng, 3))
+        assert accelerator.n_array_operations == 4
+
+    def test_non_picklable_backend_rejected_with_typed_error(self):
+        """A device-resident backend fails fast with NonPicklableShardError."""
         layer = Dense(8, 4, random_state=0)
-        with pytest.raises(ValueError, match="address space"):
+        tile = CrossbarTile(layer, random_state=0)
+        program = dataclasses.replace(
+            tile.shard_programs()[0], backend="cupy"
+        )
+        with pytest.raises(NonPicklableShardError, match="cupy"):
+            program.require_picklable()
+        assert issubclass(NonPicklableShardError, TypeError)
+
+    def test_capability_checked_at_group_construction(self, monkeypatch):
+        """The constructor probes the shard program, not the runner mode."""
+        layer = Dense(8, 4, random_state=0)
+        reference = CrossbarTile(layer, random_state=0).shard_programs()[0]
+        monkeypatch.setattr(
+            ShardedTileGroup,
+            "shard_programs",
+            lambda self: [dataclasses.replace(reference, backend="cupy")],
+        )
+        with pytest.raises(NonPicklableShardError, match="cupy"):
             ShardedTileGroup(
                 layer,
                 ShardingSpec.grid(2, 2),
                 runner=ParallelRunner(mode="process"),
                 random_state=0,
             )
+
+
+class TestShardPrograms:
+    """The frozen shard snapshot: construction, pickling, kernel parity."""
+
+    def test_pickle_round_trip_runs_identically(self, rng):
+        layer = Dense(13, 7, activation="linear", use_bias=True, random_state=0)
+        layer.set_weights(rng.normal(size=(7, 13)), bias=rng.normal(size=7))
+        tile = CrossbarTile(layer, random_state=0)
+        program = tile.shard_programs()[0]
+        program.require_picklable()  # must not raise for host numpy state
+        restored = pickle.loads(pickle.dumps(program))
+        voltages = rng.uniform(0, 1, size=(5, 14))  # physical width incl. bias
+        out_a, cur_a = run_shard(program, voltages)
+        out_b, cur_b = run_shard(restored, voltages)
+        np.testing.assert_array_equal(out_a, out_b)
+        np.testing.assert_array_equal(cur_a, cur_b)
+
+    def test_program_matches_host_array(self, rng):
+        layer = Dense(12, 6, activation="linear", random_state=0)
+        tile = CrossbarTile(layer, random_state=0)
+        program = tile.shard_programs()[0]
+        voltages = rng.uniform(0, 1, size=(4, 12))
+        out_kernel, cur_kernel = run_shard(program, voltages)
+        np.testing.assert_array_equal(out_kernel, tile.array.matvec(voltages))
+        np.testing.assert_array_equal(cur_kernel, tile.array.total_current(voltages))
+
+    def test_conductances_are_frozen_copies(self, rng):
+        layer = Dense(8, 4, random_state=0)
+        tile = CrossbarTile(layer, random_state=0)
+        program = tile.shard_programs()[0]
+        assert not program.g_plus.flags.writeable
+        assert not program.g_minus.flags.writeable
+        with pytest.raises(ValueError):
+            program.g_plus[0, 0] = 1.0
+
+    def test_mapping_without_weight_scale_rejected(self):
+        with pytest.raises(ValueError, match="weight_scale"):
+            ShardProgram(
+                g_plus=np.zeros((2, 2)),
+                g_minus=np.zeros((2, 2)),
+                mapping=ConductanceMapping(),
+            )
+
+    def test_sharded_group_exposes_one_program_per_shard(self, rng):
+        layer = Dense(12, 6, activation="linear", random_state=0)
+        group = ShardedTileGroup(layer, ShardingSpec.grid(2, 3), random_state=0)
+        programs = group.shard_programs()
+        assert len(programs) == 6
+        for program, array in zip(programs, group.physical_arrays):
+            np.testing.assert_array_equal(program.g_plus, array.g_plus)
+            np.testing.assert_array_equal(program.g_minus, array.g_minus)
+            assert program.is_deterministic
 
 
 class TestAcceleratorShardingArgument:
@@ -383,6 +524,186 @@ class TestOraclePerTileObservables:
             Oracle(accelerator, expose_power=False, expose_per_tile_power=True)
 
 
+class TestWireResistance:
+    """The 2-D IR-drop nonideality: exact-zero gating, geometry dependence."""
+
+    WIRED = NonidealityConfig(wire_resistance_ohm=1e-3)
+
+    def test_config_validation(self):
+        assert NonidealityConfig().is_ideal
+        assert not self.WIRED.is_ideal
+        with pytest.raises(ValueError):
+            NonidealityConfig(wire_resistance_ohm=-1e-3)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [None] + list(TestShardRunners.PRESET_AND_UNEVEN),
+        ids=lambda s: "mono" if s is None else f"{s.row_shards}x{s.col_shards}-{s.reduction}",
+    )
+    def test_zero_ohm_is_bitwise_the_old_engine(self, spec, rng):
+        """wire_resistance_ohm=0.0 must not perturb a single bit."""
+        network = dyadic_network(rng)
+        inputs = dyadic_inputs(rng, 6)
+        old = CrossbarAccelerator(network, sharding=spec, random_state=0)
+        gated = CrossbarAccelerator(
+            network,
+            sharding=spec,
+            nonidealities=NonidealityConfig(wire_resistance_ohm=0.0),
+            random_state=0,
+        )
+        out_old, report_old = old.forward_with_power(inputs)
+        out_gated, report_gated = gated.forward_with_power(inputs)
+        np.testing.assert_array_equal(out_gated, out_old)
+        np.testing.assert_array_equal(
+            report_gated.per_tile_current, report_old.per_tile_current
+        )
+
+    def test_nonzero_ohm_droops_current(self, rng):
+        network = dyadic_network(rng)
+        inputs = dyadic_inputs(rng, 6)
+        ideal = CrossbarAccelerator(network, random_state=0)
+        wired = CrossbarAccelerator(network, nonidealities=self.WIRED, random_state=0)
+        # positive drive voltages, non-negative conductances: droop strictly
+        # reduces the measured supply current
+        assert np.all(wired.total_current(inputs) < ideal.total_current(inputs))
+
+    def test_fused_path_consistent_under_wire_resistance(self, rng):
+        network = dyadic_network(rng)
+        inputs = dyadic_inputs(rng, 5)
+        wired = CrossbarAccelerator(network, nonidealities=self.WIRED, random_state=0)
+        out_fused, report = wired.forward_with_power(inputs)
+        np.testing.assert_array_equal(out_fused, wired.forward(inputs))
+        np.testing.assert_array_equal(
+            report.total_current, wired.total_current(inputs)
+        )
+
+    def test_droop_is_geometry_dependent(self, rng):
+        """Smaller shards mean shorter wires: column splits of a wide layer
+        shorten its row wires and recover the ideal physics."""
+        layer = Dense(64, 8, activation="linear", random_state=0)
+        layer.set_weights(rng.normal(size=(8, 64)))
+        network = Sequential([layer])
+        inputs = rng.uniform(0, 1, size=(6, 64))
+
+        def droop_error(sharding):
+            ideal = CrossbarAccelerator(network, sharding=sharding, random_state=0)
+            wired = CrossbarAccelerator(
+                network, sharding=sharding, nonidealities=self.WIRED, random_state=0
+            )
+            return np.max(
+                np.abs(wired.total_current(inputs) - ideal.total_current(inputs))
+            )
+
+        err_mono = droop_error(None)
+        err_cols = droop_error(ShardingSpec.columns(4))
+        assert err_mono > err_cols > 0.0
+
+
+class TestPerShardProbing:
+    """The shard-aware attack: per-rail estimates vs the whole-rail probe."""
+
+    def _column_sums(self, accelerator):
+        return accelerator.tiles[0].column_conductance_sums
+
+    def test_requires_per_tile_oracle(self, rng):
+        network = dyadic_network(rng)
+        accelerator = CrossbarAccelerator(network, random_state=0)
+        with pytest.raises(ValueError, match="expose_per_tile_power"):
+            PerShardProber(Oracle(accelerator, expose_power=True), 13)
+
+    def test_noiseless_estimates_recover_column_sums(self, rng):
+        layer = Dense(12, 6, activation="linear", random_state=0)
+        network = Sequential([layer])
+        spec = ShardingSpec.grid(2, 3)
+        accelerator = CrossbarAccelerator(network, sharding=spec, random_state=0)
+        oracle = Oracle(accelerator, expose_power=True, expose_per_tile_power=True)
+        result = PerShardProber(oracle, 12).probe_all()
+        assert result.grid == (2, 3)
+        assert result.n_rails == 6
+        assert result.queries_used == 13  # baseline + one probe per column
+        true_sums = self._column_sums(accelerator)
+        np.testing.assert_allclose(result.per_shard_norms, true_sums, rtol=1e-9)
+        np.testing.assert_allclose(result.whole_rail_norms, true_sums, rtol=1e-9)
+
+    def test_unsharded_target_estimates_coincide(self, rng):
+        network = Sequential([Dense(10, 5, activation="linear", random_state=0)])
+        accelerator = CrossbarAccelerator(network, random_state=0)
+        oracle = Oracle(accelerator, expose_power=True, expose_per_tile_power=True)
+        result = PerShardProber(oracle, 10).probe_all()
+        assert result.grid == (1, 1)
+        np.testing.assert_array_equal(
+            result.per_shard_norms, result.whole_rail_norms
+        )
+
+    def test_bias_column_cancels_out(self, rng):
+        layer = Dense(12, 6, activation="linear", use_bias=True, random_state=0)
+        layer.set_weights(rng.normal(size=(6, 12)), bias=rng.normal(size=6))
+        network = Sequential([layer])
+        spec = ShardingSpec.columns(3)
+        accelerator = CrossbarAccelerator(network, sharding=spec, random_state=0)
+        oracle = Oracle(accelerator, expose_power=True, expose_per_tile_power=True)
+        result = PerShardProber(oracle, 12, has_bias_column=True).probe_all()
+        np.testing.assert_allclose(
+            result.per_shard_norms, self._column_sums(accelerator), rtol=1e-9
+        )
+
+    def test_per_shard_beats_whole_rail_on_sharded_preset(self, trained_softmax):
+        """Acceptance: on a noisy sharded victim the per-shard attacker's
+        estimates are strictly closer to the truth than the whole-rail ones.
+
+        Both estimates come from the same queries and noise realizations;
+        the per-shard win is statistical (each rail's noise scales with its
+        own, smaller current), so the comparison averages a dozen fully
+        deterministic probe sessions instead of betting on one draw.
+        """
+        spec = get_scenario("sharded-rows-2")
+        accelerator = spec.build_accelerator(trained_softmax, random_state=0)
+        n_inputs = trained_softmax.layers[0].n_inputs
+        true_sums = self._column_sums(accelerator)
+        errors = {"per_shard": [], "whole_rail": []}
+        for session in range(12):
+            oracle = Oracle(
+                accelerator,
+                expose_power=True,
+                expose_per_tile_power=True,
+                power_noise_std=0.1,
+                random_state=np.random.default_rng([session, 0xAB]),
+            )
+            result = PerShardProber(oracle, n_inputs).probe_all()
+            assert result.grid == (2, 1)
+            errors["per_shard"].append(
+                np.linalg.norm(result.per_shard_norms - true_sums)
+            )
+            errors["whole_rail"].append(
+                np.linalg.norm(result.whole_rail_norms - true_sums)
+            )
+        assert np.mean(errors["per_shard"]) < np.mean(errors["whole_rail"])
+
+
+class TestTileLabelHelpers:
+    def test_parse_tile_label(self):
+        assert parse_tile_label("layer0") == (0, None)
+        assert parse_tile_label("layer3/r1c2") == (3, (1, 2))
+        for bad in ("layer", "layerx", "layer0/r1", "layer0/r1c2x", "r1c2"):
+            with pytest.raises(ValueError):
+                parse_tile_label(bad)
+
+    def test_layer_rail_grid(self):
+        labels = (
+            "layer0/r0c0", "layer0/r0c1", "layer0/r1c0", "layer0/r1c1", "layer1",
+        )
+        grid, columns = layer_rail_grid(labels, 0)
+        assert grid == (2, 2)
+        assert columns.tolist() == [[0, 1], [2, 3]]
+        grid1, columns1 = layer_rail_grid(labels, 1)
+        assert grid1 == (1, 1)
+        assert columns1.tolist() == [[4]]
+        with pytest.raises(KeyError):
+            layer_rail_grid(labels, 9)
+        with pytest.raises(ValueError):
+            layer_rail_grid(("layer0/r0c0", "layer0/r1c1"), 0)  # holes
+
+
 class TestShardedScenarios:
     def test_presets_registered(self):
         for name in ("sharded-rows-2", "sharded-columns-4", "sharded-2x2", "sharded-4x4-tree"):
@@ -398,6 +719,37 @@ class TestShardedScenarios:
         assert json.dumps(payload)  # JSON-serialisable end to end
         with pytest.raises(TypeError):
             ScenarioSpec(name="bad", sharding="2x2")
+
+    def test_dict_sharding_coerced(self):
+        spec = ScenarioSpec(
+            name="t",
+            sharding={"row_shards": 2, "col_shards": 3, "reduction": "tree"},
+        )
+        assert spec.sharding == ShardingSpec.grid(2, 3, reduction="tree")
+        tupled = ScenarioSpec(name="t2", sharding=(2, 3, "tree"))
+        assert tupled.sharding == spec.sharding
+
+    def test_dict_sharding_carries_wire_physics(self):
+        """The dict form folds wire knobs into the nonideality config."""
+        spec = ScenarioSpec(
+            name="t",
+            sharding={"row_shards": 2, "col_shards": 1, "wire_resistance_ohm": 2e-3},
+        )
+        assert spec.sharding == ShardingSpec.rows(2)
+        assert spec.nonidealities.wire_resistance_ohm == 2e-3
+        # the legacy 1-D attenuation knob is NOT accepted through this form
+        with pytest.raises(ValueError, match="wire_resistance"):
+            ScenarioSpec(name="t2", sharding={"row_shards": 2, "wire_resistance": 2e-3})
+
+    def test_dict_sharding_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="copper_grade"):
+            ScenarioSpec(name="bad", sharding={"row_shards": 2, "copper_grade": 9})
+
+    def test_wired_crossbar_preset_registered(self):
+        spec = get_scenario("wired-crossbar")
+        assert spec.nonidealities.wire_resistance_ohm > 0
+        assert spec.measurement_noise > 0
+        assert not spec.is_paper_ideal
 
     def test_build_accelerator_applies_sharding(self, trained_softmax):
         spec = SCENARIOS["sharded-2x2"]
@@ -451,7 +803,14 @@ class TestRegressionScriptFlags:
             "bench_sharding": {
                 "geometries": [
                     {"geometry": "grid-2x2", "single_s": 1.0, "sharded_s": 1.1, "ratio": 1.1}
-                ]
+                ],
+                "process_parallel": {
+                    "geometry": "rows-4",
+                    "serial_s": 1.0,
+                    "process_s": 2.0,
+                    "speedup": 0.5,
+                    "outputs_identical": True,
+                },
             },
         }
 
@@ -462,6 +821,29 @@ class TestRegressionScriptFlags:
         results["bench_sharding"]["geometries"][0]["ratio"] = 1.5
         failures = check.check_results(results)
         assert failures and any("sharded forward" in f for f in failures)
+
+    def test_shard_speedup_gate_fails_below_floor(self):
+        check = self._load_script()
+        results = self._passing_results()
+        results["bench_sharding"]["process_parallel"]["speedup"] = 0.01
+        failures = check.check_results(results)
+        assert failures and any("retains only" in f for f in failures)
+        # the floor is overridable (and relaxed by tolerance)
+        assert check.check_results(results, min_shard_speedup=0.005) == []
+
+    def test_shard_identity_gate(self):
+        check = self._load_script()
+        results = self._passing_results()
+        results["bench_sharding"]["process_parallel"]["outputs_identical"] = False
+        failures = check.check_results(results)
+        assert any("bit-identical" in f for f in failures)
+
+    def test_process_parallel_entry_optional(self):
+        """Legacy records without the entry must still pass (absent = unchecked)."""
+        check = self._load_script()
+        results = self._passing_results()
+        del results["bench_sharding"]["process_parallel"]
+        assert check.check_results(results) == []
 
     def test_tolerance_relaxes_thresholds(self):
         check = self._load_script()
